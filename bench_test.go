@@ -1,0 +1,314 @@
+// Package repro's top-level benchmarks regenerate every experiment of
+// EXPERIMENTS.md (one benchmark per table/figure-level claim of the paper)
+// and fail if the paper's qualitative shape does not reproduce. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each iteration executes the full experiment in quick mode on the
+// deterministic simulator; reported custom metrics summarize the headline
+// numbers (see EXPERIMENTS.md for the full tables, or run cmd/ecrepro).
+package repro
+
+import (
+	"io"
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/cec"
+	"repro/internal/consensus/conslab"
+	"repro/internal/core"
+	"repro/internal/dsys"
+	"repro/internal/expt"
+	"repro/internal/fd/fdlab"
+	"repro/internal/fd/fdtest"
+	"repro/internal/fd/heartbeat"
+	"repro/internal/fd/omega"
+	"repro/internal/fd/ring"
+	"repro/internal/network"
+	"repro/internal/rbcast"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// runExperiment executes one experiment per iteration and fails the
+// benchmark on a shape mismatch. The returned table of the last iteration is
+// available for metric extraction.
+func runExperiment(b *testing.B, fn func(bool) (*expt.Table, error)) *expt.Table {
+	b.Helper()
+	var last *expt.Table
+	for i := 0; i < b.N; i++ {
+		tb, err := fn(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.Fprint(io.Discard)
+		last = tb
+	}
+	return last
+}
+
+func BenchmarkE1ClassProperties(b *testing.B) {
+	runExperiment(b, expt.E1ClassProperties)
+}
+
+func BenchmarkE2TransformCorrectness(b *testing.B) {
+	runExperiment(b, expt.E2TransformCorrectness)
+}
+
+func BenchmarkE3MessagesPerPeriod(b *testing.B) {
+	tb := runExperiment(b, expt.E3MessagesPerPeriod)
+	// Headline: transformation msgs/period at the largest n vs CT ◇P.
+	last := tb.Rows[len(tb.Rows)-1]
+	if v, err := strconv.ParseFloat(last[5], 64); err == nil {
+		b.ReportMetric(v, "transform-msgs/period")
+	}
+	if v, err := strconv.ParseFloat(last[1], 64); err == nil {
+		b.ReportMetric(v, "ctP-msgs/period")
+	}
+}
+
+func BenchmarkE4DetectionLatency(b *testing.B) {
+	runExperiment(b, expt.E4DetectionLatency)
+}
+
+func BenchmarkE5RoundCosts(b *testing.B) {
+	runExperiment(b, expt.E5RoundCosts)
+}
+
+func BenchmarkE6RoundsAfterStability(b *testing.B) {
+	tb := runExperiment(b, expt.E6RoundsAfterStability)
+	for _, row := range tb.Rows {
+		if row[1] == "CT ◇S (rotating)" {
+			if v, err := strconv.ParseFloat(row[4], 64); err == nil {
+				b.ReportMetric(v, "ct-worst-rounds-after-stab")
+			}
+		}
+		if row[1] == "◇C (this paper)" {
+			if v, err := strconv.ParseFloat(row[4], 64); err == nil {
+				b.ReportMetric(v, "ec-worst-rounds-after-stab")
+			}
+		}
+	}
+}
+
+func BenchmarkE7NackTolerance(b *testing.B) {
+	runExperiment(b, expt.E7NackTolerance)
+}
+
+func BenchmarkE8MergedPhaseTradeoff(b *testing.B) {
+	runExperiment(b, expt.E8MergedPhaseTradeoff)
+}
+
+func BenchmarkE9AllSelfTrust(b *testing.B) {
+	runExperiment(b, expt.E9AllSelfTrust)
+}
+
+func BenchmarkE10ConsensusSoak(b *testing.B) {
+	runExperiment(b, expt.E10ConsensusSoak)
+}
+
+func BenchmarkE11StabilityWindow(b *testing.B) {
+	runExperiment(b, expt.E11StabilityWindow)
+}
+
+func BenchmarkE12DetectorQoS(b *testing.B) {
+	runExperiment(b, expt.E12DetectorQoS)
+}
+
+// --- Ablation benchmarks (DESIGN.md "key design decisions") ---
+
+// BenchmarkAblationAdaptiveTimeout compares false-suspicion counts of the
+// heartbeat detector with adaptive vs fixed timeouts under Δ above the
+// initial timeout: adaptivity is what delivers eventual accuracy.
+func BenchmarkAblationAdaptiveTimeout(b *testing.B) {
+	run := func(fixed bool) int {
+		col := trace.NewCollector()
+		k := sim.New(sim.Config{
+			N:       4,
+			Network: network.PartiallySynchronous{GST: 0, Delta: 80 * time.Millisecond},
+			Seed:    1,
+			Trace:   col,
+		})
+		total := 0
+		for _, id := range dsys.Pids(4) {
+			k.Spawn(id, "fd", func(p dsys.Proc) {
+				d := heartbeat.Start(p, heartbeat.Options{
+					Period:         10 * time.Millisecond,
+					InitialTimeout: 25 * time.Millisecond,
+					FixedTimeout:   fixed,
+				})
+				p.Spawn("tally", func(p dsys.Proc) {
+					p.Sleep(4 * time.Second)
+					total += d.FalseSuspicions()
+				})
+			})
+		}
+		k.Run(4*time.Second + time.Millisecond)
+		return total
+	}
+	var adaptive, fixed int
+	for i := 0; i < b.N; i++ {
+		adaptive, fixed = run(false), run(true)
+		if adaptive >= fixed {
+			b.Fatalf("adaptive timeouts made %d false suspicions, fixed made %d — adaptivity shows no benefit", adaptive, fixed)
+		}
+	}
+	b.ReportMetric(float64(adaptive), "false-susp-adaptive")
+	b.ReportMetric(float64(fixed), "false-susp-fixed")
+}
+
+// BenchmarkAblationWaitBeyondMajority compares the paper's Phase 2/4 wait
+// rule against the Chandra–Toueg first-majority cutoff in the E7 scenario
+// (two permanent false suspectors of the leader): the paper's rule decides
+// in round 1, the cutoff loses the run entirely.
+func BenchmarkAblationWaitBeyondMajority(b *testing.B) {
+	run := func(cutoff bool) (decided int, rounds int) {
+		c := fdtest.NewCluster(5, 1)
+		c.At(4).Suspect(1)
+		c.At(5).Suspect(1)
+		res := conslab.Run(conslab.Setup{
+			N:    5,
+			Seed: 1,
+			Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
+			Run: func(p dsys.Proc, rb *rbcast.Module, v any, opt consensus.Options) consensus.Result {
+				return cec.Propose(p, c.At(p.ID()), rb, v, opt)
+			},
+			Opt:    consensus.Options{FirstMajorityCutoff: cutoff},
+			RunFor: time.Second,
+		})
+		return res.Log.DecidedCount(), res.Log.MaxRound()
+	}
+	for i := 0; i < b.N; i++ {
+		decided, rounds := run(false)
+		if decided != 5 || rounds != 1 {
+			b.Fatalf("paper's wait rule: decided=%d rounds=%d, want full decision in round 1", decided, rounds)
+		}
+	}
+}
+
+// BenchmarkAblationStableLeader compares leader changes of the stable Ω
+// module against plain LeaderBeat when the leader's outgoing links flap
+// periodically: stability (Aguilera et al., cited in the paper's related
+// work) demotes once and stays, while plain LeaderBeat flaps back on every
+// heal.
+func BenchmarkAblationStableLeader(b *testing.B) {
+	flaky := network.Func(func(from, to dsys.ProcessID, kind string, now time.Duration, rng *rand.Rand) (time.Duration, bool) {
+		if from == 1 && now%(500*time.Millisecond) < 150*time.Millisecond {
+			return 0, true
+		}
+		return network.PartiallySynchronous{GST: 0, Delta: 5 * time.Millisecond}.Plan(from, to, kind, now, rng)
+	})
+	changes := func(stable bool) int {
+		res := fdlab.Run(fdlab.Setup{
+			N:    5,
+			Seed: 14,
+			Net:  flaky,
+			Build: func(p dsys.Proc) any {
+				if stable {
+					return omega.StartStable(p, omega.Options{})
+				}
+				return omega.StartLeaderBeat(p, omega.Options{})
+			},
+			RunFor: 5 * time.Second,
+		})
+		total := 0
+		for _, m := range res.Modules {
+			switch d := m.(type) {
+			case *omega.Stable:
+				total += d.LeaderChanges()
+			case *omega.LeaderBeat:
+				total += d.LeaderChanges()
+			}
+		}
+		return total
+	}
+	var st, plain int
+	for i := 0; i < b.N; i++ {
+		st, plain = changes(true), changes(false)
+		if st >= plain {
+			b.Fatalf("stable Ω made %d changes vs plain %d — no stability benefit", st, plain)
+		}
+	}
+	b.ReportMetric(float64(st), "changes-stable")
+	b.ReportMetric(float64(plain), "changes-plain")
+}
+
+// BenchmarkRingDetectorSteadyState measures simulator throughput on the ring
+// detector's steady state — a substrate-level performance benchmark.
+func BenchmarkRingDetectorSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.New(sim.Config{
+			N:       16,
+			Network: network.Reliable{Latency: network.Fixed(time.Millisecond)},
+			Seed:    1,
+		})
+		for _, id := range dsys.Pids(16) {
+			k.Spawn(id, "fd", func(p dsys.Proc) { ring.Start(p, ring.Options{}) })
+		}
+		k.Run(time.Second)
+	}
+}
+
+// BenchmarkReplicatedLogThroughput measures how many fully replicated log
+// slots per wall-clock second the stack sustains in simulation (5 replicas,
+// ring detector, one ◇C consensus instance per slot).
+func BenchmarkReplicatedLogThroughput(b *testing.B) {
+	n := 5
+	perReplica := 4
+	slotsTotal := 0
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		k := sim.New(sim.Config{
+			N:       n,
+			Network: network.Reliable{Latency: network.Fixed(time.Millisecond)},
+			Seed:    int64(i),
+		})
+		reps := make(map[dsys.ProcessID]*core.Replica, n)
+		for _, id := range dsys.Pids(n) {
+			id := id
+			k.Spawn(id, "replica", func(p dsys.Proc) {
+				reps[id] = core.StartReplica(p, core.Config{})
+			})
+		}
+		for j := 0; j < perReplica; j++ {
+			j := j
+			k.ScheduleFunc(time.Duration(5+j*20)*time.Millisecond, func(time.Duration) {
+				for _, id := range dsys.Pids(n) {
+					reps[id].Submit(j)
+				}
+			})
+		}
+		k.Run(5 * time.Second)
+		applied := len(reps[1].AppliedValues())
+		if applied != n*perReplica {
+			b.Fatalf("replica applied %d of %d commands", applied, n*perReplica)
+		}
+		slotsTotal += applied
+	}
+	b.ReportMetric(float64(slotsTotal)/time.Since(start).Seconds(), "slots/s")
+}
+
+// BenchmarkConsensusDecisionLatency measures end-to-end virtual decision
+// latency of the ◇C algorithm over the real ring detector.
+func BenchmarkConsensusDecisionLatency(b *testing.B) {
+	var lastAt time.Duration
+	for i := 0; i < b.N; i++ {
+		res := conslab.Run(conslab.Setup{
+			N:    5,
+			Seed: int64(i),
+			Net:  network.PartiallySynchronous{GST: 0, Delta: 5 * time.Millisecond},
+			Run: func(p dsys.Proc, rb *rbcast.Module, v any, opt consensus.Options) consensus.Result {
+				return cec.Propose(p, ring.Start(p, ring.Options{}), rb, v, opt)
+			},
+		})
+		if err := res.Verify(5); err != nil {
+			b.Fatal(err)
+		}
+		lastAt = res.Log.LastDecisionAt()
+	}
+	b.ReportMetric(float64(lastAt)/1e6, "virtual-decision-ms")
+}

@@ -1,0 +1,63 @@
+// Command ecrepro regenerates the paper's experiments (see DESIGN.md and
+// EXPERIMENTS.md) and prints one table per experiment. It exits non-zero if
+// any experiment's qualitative shape fails to match the paper.
+//
+// Usage:
+//
+//	ecrepro [-quick] [-only E3,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced parameter sweeps")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E3,E5); default all")
+	flag.Parse()
+
+	type entry struct {
+		id string
+		fn func(bool) (*expt.Table, error)
+	}
+	entries := []entry{
+		{"E1", expt.E1ClassProperties},
+		{"E2", expt.E2TransformCorrectness},
+		{"E3", expt.E3MessagesPerPeriod},
+		{"E4", expt.E4DetectionLatency},
+		{"E5", expt.E5RoundCosts},
+		{"E6", expt.E6RoundsAfterStability},
+		{"E7", expt.E7NackTolerance},
+		{"E8", expt.E8MergedPhaseTradeoff},
+		{"E9", expt.E9AllSelfTrust},
+		{"E10", expt.E10ConsensusSoak},
+		{"E11", expt.E11StabilityWindow},
+		{"E12", expt.E12DetectorQoS},
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	failed := false
+	for _, e := range entries {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		tb, err := e.fn(*quick)
+		tb.Fprint(os.Stdout)
+		if err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "SHAPE MISMATCH %s: %v\n", e.id, err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Transform demo: watch the paper's Fig. 2 algorithm turn a ◇C detector
+// into ◇P under the exact link assumptions of Theorem 1 — only the leader's
+// input links are timely and its output links drop 40% of all messages, yet
+// every process's suspect list converges to exactly the crashed set.
+//
+// Run with:
+//
+//	go run ./examples/transformdemo
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd/fdtest"
+	"repro/internal/fd/transform"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+func main() {
+	const n = 6
+	const leader = dsys.ProcessID(1)
+
+	// Theorem 1's minimal link assumptions: partially synchronous links
+	// into the leader, fair-lossy (40% drop) links out of it, and slow,
+	// 70%-lossy links everywhere else.
+	ps := network.PartiallySynchronous{GST: 0, Delta: 10 * time.Millisecond}
+	links := map[network.LinkKey]network.Network{}
+	for _, q := range dsys.Pids(n) {
+		if q == leader {
+			continue
+		}
+		links[network.LinkKey{From: q, To: leader}] = ps
+		links[network.LinkKey{From: leader, To: q}] = network.FairLossy{P: 0.4, Under: ps}
+	}
+	net := network.PerLink{
+		Default: network.FairLossy{P: 0.7, Under: network.Reliable{Latency: network.Uniform{Min: time.Millisecond, Max: 100 * time.Millisecond}}},
+		Links:   links,
+	}
+
+	k := sim.New(sim.Config{N: n, Network: net, Seed: 5})
+	dets := make([]*transform.Detector, n+1)
+	for _, id := range dsys.Pids(n) {
+		id := id
+		k.Spawn(id, "tp", func(p dsys.Proc) {
+			// The underlying ◇C detector is scripted to already agree on
+			// the leader, isolating the transformation's own behaviour.
+			dets[id] = transform.Start(p, fdtest.NewScripted(leader), transform.Options{})
+		})
+	}
+
+	fmt.Println("transformdemo: ◇C→◇P (Fig. 2) with 40% loss on the leader's output links")
+	fmt.Println("  p3 crashes at 150ms, p5 at 400ms; watch the lists converge:")
+	k.CrashAt(3, 150*time.Millisecond)
+	k.CrashAt(5, 400*time.Millisecond)
+
+	k.Every(100*time.Millisecond, 100*time.Millisecond, func(now time.Duration) {
+		if now > 900*time.Millisecond {
+			return
+		}
+		fmt.Printf("  t=%-6v", now)
+		for _, id := range dsys.Pids(n) {
+			if k.Crashed(id) {
+				fmt.Printf("  %v:†", id)
+				continue
+			}
+			fmt.Printf("  %v:%v", id, dets[id].Suspected())
+		}
+		fmt.Println()
+	})
+	k.Run(time.Second)
+
+	fmt.Println("\n  final leader-side stats:")
+	fmt.Printf("    false suspicions retracted by Task 4 at the leader: %d\n", dets[leader].FalseSuspicions())
+	fmt.Printf("    suspect lists adopted (Task 5) at p2: %d\n", dets[2].Adoptions())
+}

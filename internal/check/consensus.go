@@ -1,0 +1,148 @@
+package check
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dsys"
+)
+
+// Decision records one process's consensus decision.
+type Decision struct {
+	Value any
+	At    time.Duration
+	Round int
+}
+
+// ConsensusLog collects proposals and decisions of one consensus instance
+// and verifies the Uniform Consensus properties (Section 5.1). It is safe
+// for concurrent use so the live runtime can share it.
+type ConsensusLog struct {
+	mu        sync.Mutex
+	proposals map[dsys.ProcessID]any
+	decisions map[dsys.ProcessID][]Decision
+}
+
+// NewConsensusLog returns an empty log.
+func NewConsensusLog() *ConsensusLog {
+	return &ConsensusLog{
+		proposals: make(map[dsys.ProcessID]any),
+		decisions: make(map[dsys.ProcessID][]Decision),
+	}
+}
+
+// Propose records that id proposed v.
+func (l *ConsensusLog) Propose(id dsys.ProcessID, v any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.proposals[id] = v
+}
+
+// Decide records that id decided v at time at in round r.
+func (l *ConsensusLog) Decide(id dsys.ProcessID, v any, at time.Duration, round int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.decisions[id] = append(l.decisions[id], Decision{Value: v, At: at, Round: round})
+}
+
+// Decided returns the decision of id, or ok=false if it has not decided.
+func (l *ConsensusLog) Decided(id dsys.ProcessID) (Decision, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ds := l.decisions[id]
+	if len(ds) == 0 {
+		return Decision{}, false
+	}
+	return ds[0], true
+}
+
+// DecidedCount returns how many processes decided at least once.
+func (l *ConsensusLog) DecidedCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.decisions)
+}
+
+// MaxRound returns the largest deciding round seen (0 if none).
+func (l *ConsensusLog) MaxRound() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := 0
+	for _, ds := range l.decisions {
+		for _, d := range ds {
+			if d.Round > r {
+				r = d.Round
+			}
+		}
+	}
+	return r
+}
+
+// LastDecisionAt returns the time of the latest recorded decision.
+func (l *ConsensusLog) LastDecisionAt() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var t time.Duration
+	for _, ds := range l.decisions {
+		for _, d := range ds {
+			if d.At > t {
+				t = d.At
+			}
+		}
+	}
+	return t
+}
+
+// Verify checks the Uniform Consensus properties against the crash record:
+//
+//	Termination:       every correct process decided.
+//	Uniform integrity: no process decided more than once.
+//	Uniform agreement: no two processes (correct or faulty) decided
+//	                   differently.
+//	Validity:          every decided value was proposed by some process.
+//
+// It returns nil if all hold, or an error naming the first violated
+// property.
+func (l *ConsensusLog) Verify(n int, crashed map[dsys.ProcessID]time.Duration) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, id := range dsys.Pids(n) {
+		if _, isCrashed := crashed[id]; isCrashed {
+			continue
+		}
+		if len(l.decisions[id]) == 0 {
+			return fmt.Errorf("termination violated: correct process %v never decided", id)
+		}
+	}
+	for id, ds := range l.decisions {
+		if len(ds) > 1 {
+			return fmt.Errorf("uniform integrity violated: %v decided %d times", id, len(ds))
+		}
+	}
+	var ref any
+	var refID dsys.ProcessID
+	first := true
+	for id, ds := range l.decisions {
+		if first {
+			ref, refID, first = ds[0].Value, id, false
+			continue
+		}
+		if ds[0].Value != ref {
+			return fmt.Errorf("uniform agreement violated: %v decided %v but %v decided %v", refID, ref, id, ds[0].Value)
+		}
+	}
+	for id, ds := range l.decisions {
+		ok := false
+		for _, v := range l.proposals {
+			if v == ds[0].Value {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("validity violated: %v decided %v, which nobody proposed", id, ds[0].Value)
+		}
+	}
+	return nil
+}

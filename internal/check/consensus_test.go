@@ -1,0 +1,133 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+)
+
+func allPropose(l *ConsensusLog, n int) {
+	for _, id := range dsys.Pids(n) {
+		l.Propose(id, "v"+id.String())
+	}
+}
+
+func TestVerifyAllGood(t *testing.T) {
+	l := NewConsensusLog()
+	allPropose(l, 3)
+	for _, id := range dsys.Pids(3) {
+		l.Decide(id, "vp1", ms(10+int(id)), 1)
+	}
+	if err := l.Verify(3, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyTermination(t *testing.T) {
+	l := NewConsensusLog()
+	allPropose(l, 3)
+	l.Decide(1, "vp1", ms(10), 1)
+	// p2 and p3 missing.
+	err := l.Verify(3, nil)
+	if err == nil || !strings.Contains(err.Error(), "termination") {
+		t.Errorf("err = %v", err)
+	}
+	// Crashed processes are exempt.
+	l.Decide(2, "vp1", ms(10), 1)
+	if err := l.Verify(3, map[dsys.ProcessID]time.Duration{3: ms(1)}); err != nil {
+		t.Errorf("crashed process should be exempt: %v", err)
+	}
+}
+
+func TestVerifyUniformIntegrity(t *testing.T) {
+	l := NewConsensusLog()
+	allPropose(l, 2)
+	l.Decide(1, "vp1", ms(10), 1)
+	l.Decide(1, "vp1", ms(20), 2) // second decision!
+	l.Decide(2, "vp1", ms(10), 1)
+	err := l.Verify(2, nil)
+	if err == nil || !strings.Contains(err.Error(), "integrity") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyUniformAgreement(t *testing.T) {
+	l := NewConsensusLog()
+	allPropose(l, 2)
+	l.Decide(1, "vp1", ms(10), 1)
+	l.Decide(2, "vp2", ms(10), 1)
+	err := l.Verify(2, nil)
+	if err == nil || !strings.Contains(err.Error(), "agreement") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyAgreementIncludesCrashedDeciders(t *testing.T) {
+	// A process that decided and then crashed still counts (UNIFORM
+	// agreement).
+	l := NewConsensusLog()
+	allPropose(l, 3)
+	l.Decide(1, "vp1", ms(5), 1) // decides, then crashes
+	l.Decide(2, "vp2", ms(20), 2)
+	l.Decide(3, "vp2", ms(20), 2)
+	err := l.Verify(3, map[dsys.ProcessID]time.Duration{1: ms(6)})
+	if err == nil || !strings.Contains(err.Error(), "agreement") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyValidity(t *testing.T) {
+	l := NewConsensusLog()
+	allPropose(l, 2)
+	l.Decide(1, "made-up", ms(10), 1)
+	l.Decide(2, "made-up", ms(10), 1)
+	err := l.Verify(2, nil)
+	if err == nil || !strings.Contains(err.Error(), "validity") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLogAccessors(t *testing.T) {
+	l := NewConsensusLog()
+	allPropose(l, 3)
+	if _, ok := l.Decided(1); ok {
+		t.Error("phantom decision")
+	}
+	l.Decide(1, "vp1", ms(10), 2)
+	l.Decide(2, "vp1", ms(30), 3)
+	if l.DecidedCount() != 2 {
+		t.Errorf("DecidedCount = %d", l.DecidedCount())
+	}
+	if l.MaxRound() != 3 {
+		t.Errorf("MaxRound = %d", l.MaxRound())
+	}
+	if l.LastDecisionAt() != ms(30) {
+		t.Errorf("LastDecisionAt = %v", l.LastDecisionAt())
+	}
+	d, ok := l.Decided(1)
+	if !ok || d.Value != "vp1" || d.Round != 2 || d.At != ms(10) {
+		t.Errorf("Decided(1) = %+v %v", d, ok)
+	}
+}
+
+func TestClassCombinators(t *testing.T) {
+	// ◇P requires both strong completeness and eventual strong accuracy;
+	// ◇S tolerates weak accuracy. Build a trace with strong completeness
+	// but only weak accuracy.
+	tr := synth(3,
+		map[dsys.ProcessID]time.Duration{3: ms(0)},
+		map[dsys.ProcessID][]scriptEntry{
+			// p1 permanently (falsely) suspects p2 alongside crashed p3.
+			1: {{ms(10), []dsys.ProcessID{2, 3}, 1}, {ms(20), []dsys.ProcessID{2, 3}, 1}},
+			2: {{ms(10), []dsys.ProcessID{3}, 1}, {ms(20), []dsys.ProcessID{3}, 1}},
+		})
+	if tr.EventuallyPerfect().Holds {
+		t.Error("◇P should fail: p2 is falsely suspected forever")
+	}
+	v := tr.EventuallyStrong()
+	if !v.Holds || v.Witness != 1 {
+		t.Errorf("◇S verdict %+v, want holds with witness p1 (never suspected)", v)
+	}
+}

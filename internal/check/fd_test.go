@@ -1,0 +1,199 @@
+package check
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd"
+)
+
+// synth builds a trace for n processes from per-process sample scripts.
+// Each script entry is (time, suspected, trusted).
+type scriptEntry struct {
+	at      time.Duration
+	susp    []dsys.ProcessID
+	trusted dsys.ProcessID
+}
+
+func synth(n int, crashed map[dsys.ProcessID]time.Duration, scripts map[dsys.ProcessID][]scriptEntry) FDTrace {
+	rec := NewFDRecorder(n)
+	for id, es := range scripts {
+		for _, e := range es {
+			rec.AddSample(id, FDSample{At: e.at, Suspected: fd.NewSet(e.susp...), Trusted: e.trusted})
+		}
+	}
+	return FDTrace{N: n, Rec: rec, Crashed: crashed}
+}
+
+func ms(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+func TestStrongCompletenessHoldsAndReportsFrom(t *testing.T) {
+	// p2 crashes at 10ms; p1 and p3 pick it up at different times.
+	tr := synth(3,
+		map[dsys.ProcessID]time.Duration{2: ms(10)},
+		map[dsys.ProcessID][]scriptEntry{
+			1: {{ms(5), nil, 1}, {ms(15), nil, 1}, {ms(25), []dsys.ProcessID{2}, 1}, {ms(35), []dsys.ProcessID{2}, 1}},
+			3: {{ms(5), nil, 1}, {ms(15), []dsys.ProcessID{2}, 1}, {ms(25), []dsys.ProcessID{2}, 1}, {ms(35), []dsys.ProcessID{2}, 1}},
+		})
+	v := tr.StrongCompleteness()
+	if !v.Holds {
+		t.Fatal("should hold")
+	}
+	if v.From != ms(25) {
+		t.Errorf("From = %v, want 25ms (p1's detection)", v.From)
+	}
+}
+
+func TestStrongCompletenessFailsWhenSuspicionDropped(t *testing.T) {
+	tr := synth(2,
+		map[dsys.ProcessID]time.Duration{2: ms(10)},
+		map[dsys.ProcessID][]scriptEntry{
+			1: {{ms(20), []dsys.ProcessID{2}, 1}, {ms(30), nil, 1}},
+		})
+	if tr.StrongCompleteness().Holds {
+		t.Error("should fail: final sample no longer suspects the crashed process")
+	}
+}
+
+func TestWeakCompletenessNeedsOnlyOneWatcher(t *testing.T) {
+	tr := synth(3,
+		map[dsys.ProcessID]time.Duration{3: ms(0)},
+		map[dsys.ProcessID][]scriptEntry{
+			1: {{ms(10), nil, 1}, {ms(20), nil, 1}},
+			2: {{ms(10), []dsys.ProcessID{3}, 1}, {ms(20), []dsys.ProcessID{3}, 1}},
+		})
+	if !tr.WeakCompleteness().Holds {
+		t.Error("weak completeness should hold via p2")
+	}
+	if tr.StrongCompleteness().Holds {
+		t.Error("strong completeness should fail: p1 never suspects p3")
+	}
+}
+
+func TestWeakCompletenessFailsWhenNobodyWatches(t *testing.T) {
+	tr := synth(3,
+		map[dsys.ProcessID]time.Duration{3: ms(0)},
+		map[dsys.ProcessID][]scriptEntry{
+			1: {{ms(10), nil, 1}},
+			2: {{ms(10), nil, 1}},
+		})
+	if tr.WeakCompleteness().Holds {
+		t.Error("should fail")
+	}
+}
+
+func TestEventualStrongAccuracy(t *testing.T) {
+	tr := synth(2, nil, map[dsys.ProcessID][]scriptEntry{
+		1: {{ms(10), []dsys.ProcessID{2}, 1}, {ms(20), nil, 1}, {ms(30), nil, 1}},
+		2: {{ms(10), nil, 1}, {ms(20), nil, 1}, {ms(30), nil, 1}},
+	})
+	v := tr.EventualStrongAccuracy()
+	if !v.Holds || v.From != ms(20) {
+		t.Errorf("verdict %+v, want holds from 20ms", v)
+	}
+}
+
+func TestEventualWeakAccuracyPicksWitness(t *testing.T) {
+	// p1 keeps being suspected by p2 forever; p2 is clean from 20ms on.
+	tr := synth(2, nil, map[dsys.ProcessID][]scriptEntry{
+		1: {{ms(10), []dsys.ProcessID{2}, 1}, {ms(20), nil, 1}, {ms(30), nil, 1}},
+		2: {{ms(10), []dsys.ProcessID{1}, 1}, {ms(20), []dsys.ProcessID{1}, 1}, {ms(30), []dsys.ProcessID{1}, 1}},
+	})
+	v := tr.EventualWeakAccuracy()
+	if !v.Holds || v.Witness != 2 {
+		t.Errorf("verdict %+v, want witness p2", v)
+	}
+	if tr.EventualStrongAccuracy().Holds {
+		t.Error("strong accuracy should fail")
+	}
+}
+
+func TestOmegaPropertyAgreementOnCorrectLeader(t *testing.T) {
+	tr := synth(3,
+		map[dsys.ProcessID]time.Duration{1: ms(5)},
+		map[dsys.ProcessID][]scriptEntry{
+			2: {{ms(10), nil, 1}, {ms(20), nil, 2}, {ms(30), nil, 2}},
+			3: {{ms(10), nil, 2}, {ms(20), nil, 2}, {ms(30), nil, 2}},
+		})
+	v := tr.OmegaProperty()
+	if !v.Holds || v.Witness != 2 || v.From != ms(20) {
+		t.Errorf("verdict %+v, want leader p2 from 20ms", v)
+	}
+}
+
+func TestOmegaPropertyRejectsCrashedLeader(t *testing.T) {
+	// Everyone agrees on p1 forever, but p1 crashed: not a valid Ω run.
+	tr := synth(2,
+		map[dsys.ProcessID]time.Duration{1: ms(5)},
+		map[dsys.ProcessID][]scriptEntry{
+			2: {{ms(10), nil, 1}, {ms(20), nil, 1}},
+		})
+	if tr.OmegaProperty().Holds {
+		t.Error("should fail: the agreed leader is faulty")
+	}
+}
+
+func TestOmegaPropertyRejectsPersistentDisagreement(t *testing.T) {
+	tr := synth(2, nil, map[dsys.ProcessID][]scriptEntry{
+		1: {{ms(10), nil, 1}, {ms(20), nil, 1}},
+		2: {{ms(10), nil, 2}, {ms(20), nil, 2}},
+	})
+	if tr.OmegaProperty().Holds {
+		t.Error("should fail: processes never agree")
+	}
+}
+
+func TestECConsistency(t *testing.T) {
+	tr := synth(2, nil, map[dsys.ProcessID][]scriptEntry{
+		1: {{ms(10), []dsys.ProcessID{2}, 2}, {ms(20), nil, 2}},
+		2: {{ms(10), nil, 2}, {ms(20), nil, 2}},
+	})
+	v := tr.ECConsistency()
+	if !v.Holds || v.From != ms(20) {
+		t.Errorf("verdict %+v", v)
+	}
+}
+
+func TestEventuallyConsistentCombinesAllClauses(t *testing.T) {
+	tr := synth(3,
+		map[dsys.ProcessID]time.Duration{3: ms(0)},
+		map[dsys.ProcessID][]scriptEntry{
+			1: {{ms(10), []dsys.ProcessID{3}, 1}, {ms(20), []dsys.ProcessID{3}, 1}},
+			2: {{ms(10), []dsys.ProcessID{3}, 2}, {ms(20), []dsys.ProcessID{3}, 1}},
+		})
+	v := tr.EventuallyConsistent()
+	if !v.Holds || v.Witness != 1 || v.From != ms(20) {
+		t.Errorf("verdict %+v", v)
+	}
+}
+
+func TestEmptyTraceNeverHolds(t *testing.T) {
+	tr := synth(2, nil, map[dsys.ProcessID][]scriptEntry{})
+	if tr.StrongCompleteness().Holds || tr.EventualStrongAccuracy().Holds {
+		t.Error("properties should not hold with no samples at all")
+	}
+}
+
+func TestCorrectAndCrashedIDs(t *testing.T) {
+	tr := synth(4, map[dsys.ProcessID]time.Duration{2: ms(1), 4: ms(2)}, nil)
+	if got := tr.CorrectIDs(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("CorrectIDs = %v", got)
+	}
+	if got := tr.CrashedIDs(); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("CrashedIDs = %v", got)
+	}
+}
+
+func TestCompletenessIgnoresSamplesBeforeCrash(t *testing.T) {
+	// Not suspecting a process before it crashes is not a violation.
+	tr := synth(2,
+		map[dsys.ProcessID]time.Duration{2: ms(100)},
+		map[dsys.ProcessID][]scriptEntry{
+			1: {{ms(50), nil, 1}, {ms(150), []dsys.ProcessID{2}, 1}},
+		})
+	v := tr.StrongCompleteness()
+	if !v.Holds || v.From != 0 {
+		t.Errorf("verdict %+v, want holds with no violation at all", v)
+	}
+}

@@ -1,0 +1,111 @@
+package check
+
+import (
+	"time"
+
+	"repro/internal/dsys"
+)
+
+// QoS aggregates quality-of-service metrics of a failure detector over a
+// recorded trace, in the spirit of Chen, Toueg and Aguilera ("On the quality
+// of service of failure detectors"): how fast real crashes are detected, how
+// often correct processes are wrongly suspected, and how long such mistakes
+// last. These complement the binary eventual properties: two ◇P detectors
+// can differ wildly in QoS.
+type QoS struct {
+	// WorstDetection is the largest crash-detection latency over all
+	// (correct observer, crashed target) pairs: the time from the crash to
+	// the first sample of the observer's final, uninterrupted suspicion of
+	// the target. -1 if some crash was never (permanently) detected.
+	WorstDetection time.Duration
+	// AvgDetection averages that latency over all pairs (-1 as above).
+	AvgDetection time.Duration
+	// Mistakes counts false-suspicion episodes: transitions into suspicion
+	// of a process that had not crashed at that sample, summed over all
+	// correct observers.
+	Mistakes int
+	// AvgMistakeDuration is the mean duration of closed mistake episodes
+	// (from the first suspecting sample to the first clear sample). Zero if
+	// there were no closed mistakes.
+	AvgMistakeDuration time.Duration
+}
+
+// QoS computes the metrics from the recorded samples and crash times.
+func (t FDTrace) QoS() QoS {
+	q := QoS{}
+	var detSum time.Duration
+	detPairs := 0
+	missed := false
+	var mistakeSum time.Duration
+	closedMistakes := 0
+
+	for _, p := range t.CorrectIDs() {
+		ss := t.Rec.Samples(p)
+		for _, target := range dsys.Pids(t.N) {
+			if target == p {
+				continue
+			}
+			crashAt, crashed := t.Crashed[target]
+
+			// Mistake episodes: suspicion intervals that begin while the
+			// target is alive.
+			inMistake := false
+			var mistakeStart time.Duration
+			for _, s := range ss {
+				suspected := s.Suspected.Has(target)
+				aliveAt := !crashed || s.At < crashAt
+				switch {
+				case suspected && !inMistake && aliveAt:
+					inMistake = true
+					mistakeStart = s.At
+					q.Mistakes++
+				case !suspected && inMistake:
+					inMistake = false
+					mistakeSum += s.At - mistakeStart
+					closedMistakes++
+				case suspected && inMistake && crashed && s.At >= crashAt:
+					// The "mistake" outlived the target: once the target is
+					// actually crashed the episode stops counting as wrong.
+					inMistake = false
+					mistakeSum += crashAt - mistakeStart
+					closedMistakes++
+				}
+			}
+
+			// Detection latency: start of the final uninterrupted
+			// suspicion suffix.
+			if crashed {
+				det := time.Duration(-1)
+				for i := len(ss) - 1; i >= 0; i-- {
+					if !ss[i].Suspected.Has(target) {
+						break
+					}
+					det = ss[i].At
+				}
+				if det < 0 {
+					missed = true
+				} else {
+					lat := det - crashAt
+					if lat < 0 {
+						lat = 0 // suspected already before the crash
+					}
+					detSum += lat
+					if lat > q.WorstDetection {
+						q.WorstDetection = lat
+					}
+					detPairs++
+				}
+			}
+		}
+	}
+	if missed {
+		q.WorstDetection = -1
+		q.AvgDetection = -1
+	} else if detPairs > 0 {
+		q.AvgDetection = detSum / time.Duration(detPairs)
+	}
+	if closedMistakes > 0 {
+		q.AvgMistakeDuration = mistakeSum / time.Duration(closedMistakes)
+	}
+	return q
+}

@@ -1,0 +1,99 @@
+package check
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+)
+
+func TestQoSDetectionLatency(t *testing.T) {
+	// p2 crashes at 10ms; p1 starts suspecting permanently at 30ms,
+	// p3 at 50ms.
+	tr := synth(3,
+		map[dsys.ProcessID]time.Duration{2: ms(10)},
+		map[dsys.ProcessID][]scriptEntry{
+			1: {{ms(20), nil, 1}, {ms(30), []dsys.ProcessID{2}, 1}, {ms(40), []dsys.ProcessID{2}, 1}},
+			3: {{ms(20), nil, 1}, {ms(30), nil, 1}, {ms(50), []dsys.ProcessID{2}, 1}},
+		})
+	q := tr.QoS()
+	if q.WorstDetection != ms(40) {
+		t.Errorf("WorstDetection = %v, want 40ms (p3: 50-10)", q.WorstDetection)
+	}
+	if q.AvgDetection != ms(30) {
+		t.Errorf("AvgDetection = %v, want 30ms ((20+40)/2)", q.AvgDetection)
+	}
+	if q.Mistakes != 0 {
+		t.Errorf("Mistakes = %d", q.Mistakes)
+	}
+}
+
+func TestQoSMissedCrash(t *testing.T) {
+	tr := synth(2,
+		map[dsys.ProcessID]time.Duration{2: ms(10)},
+		map[dsys.ProcessID][]scriptEntry{
+			1: {{ms(20), nil, 1}, {ms(30), nil, 1}},
+		})
+	q := tr.QoS()
+	if q.WorstDetection != -1 || q.AvgDetection != -1 {
+		t.Errorf("missed crash should yield -1, got %v/%v", q.WorstDetection, q.AvgDetection)
+	}
+}
+
+func TestQoSMistakeEpisodes(t *testing.T) {
+	// p1 falsely suspects p2 (correct) twice: [10,30) and [50,60).
+	tr := synth(2, nil, map[dsys.ProcessID][]scriptEntry{
+		1: {
+			{ms(0), nil, 1},
+			{ms(10), []dsys.ProcessID{2}, 1},
+			{ms(20), []dsys.ProcessID{2}, 1},
+			{ms(30), nil, 1},
+			{ms(50), []dsys.ProcessID{2}, 1},
+			{ms(60), nil, 1},
+		},
+		2: {{ms(0), nil, 1}},
+	})
+	q := tr.QoS()
+	if q.Mistakes != 2 {
+		t.Errorf("Mistakes = %d, want 2", q.Mistakes)
+	}
+	if q.AvgMistakeDuration != ms(15) {
+		t.Errorf("AvgMistakeDuration = %v, want 15ms ((20+10)/2)", q.AvgMistakeDuration)
+	}
+}
+
+func TestQoSSuspicionBeforeCrashCountsAsMistakeUntilCrash(t *testing.T) {
+	// p1 suspects p2 from 10ms; p2 actually crashes at 40ms: one mistake
+	// episode of 30ms, and detection latency 0 (already suspected).
+	tr := synth(2,
+		map[dsys.ProcessID]time.Duration{2: ms(40)},
+		map[dsys.ProcessID][]scriptEntry{
+			1: {
+				{ms(0), nil, 1},
+				{ms(10), []dsys.ProcessID{2}, 1},
+				{ms(30), []dsys.ProcessID{2}, 1},
+				{ms(50), []dsys.ProcessID{2}, 1},
+			},
+		})
+	q := tr.QoS()
+	if q.Mistakes != 1 {
+		t.Errorf("Mistakes = %d, want 1", q.Mistakes)
+	}
+	if q.AvgMistakeDuration != ms(30) {
+		t.Errorf("AvgMistakeDuration = %v, want 30ms", q.AvgMistakeDuration)
+	}
+	if q.WorstDetection != 0 {
+		t.Errorf("WorstDetection = %v, want 0", q.WorstDetection)
+	}
+}
+
+func TestQoSNoCrashesNoMistakes(t *testing.T) {
+	tr := synth(2, nil, map[dsys.ProcessID][]scriptEntry{
+		1: {{ms(10), nil, 1}},
+		2: {{ms(10), nil, 1}},
+	})
+	q := tr.QoS()
+	if q.WorstDetection != 0 || q.AvgDetection != 0 || q.Mistakes != 0 || q.AvgMistakeDuration != 0 {
+		t.Errorf("QoS = %+v, want zeroes", q)
+	}
+}

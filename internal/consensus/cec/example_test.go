@@ -1,0 +1,42 @@
+package cec_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/cec"
+	"repro/internal/dsys"
+	"repro/internal/fd/ring"
+	"repro/internal/network"
+	"repro/internal/rbcast"
+	"repro/internal/sim"
+)
+
+// Three processes run the paper's ◇C consensus over the ring detector; with
+// a stable detector the decision lands in round 1 and is the leader's
+// proposal.
+func ExamplePropose() {
+	k := sim.New(sim.Config{
+		N:       3,
+		Network: network.Reliable{Latency: network.Fixed(time.Millisecond)},
+		Seed:    1,
+	})
+	decided := make([]consensus.Result, 4)
+	for _, id := range dsys.Pids(3) {
+		id := id
+		k.Spawn(id, "main", func(p dsys.Proc) {
+			det := ring.Start(p, ring.Options{})
+			rb := rbcast.Start(p)
+			decided[id] = cec.Propose(p, det, rb, fmt.Sprintf("proposal-%v", id), consensus.Options{})
+		})
+	}
+	k.Run(time.Second)
+	for _, id := range dsys.Pids(3) {
+		fmt.Printf("%v decided %v in round %d\n", id, decided[id].Value, decided[id].Round)
+	}
+	// Output:
+	// p1 decided proposal-p1 in round 1
+	// p2 decided proposal-p1 in round 1
+	// p3 decided proposal-p1 in round 1
+}

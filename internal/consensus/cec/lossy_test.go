@@ -1,0 +1,67 @@
+package cec_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/cec"
+	"repro/internal/consensus/conslab"
+	"repro/internal/dsys"
+	"repro/internal/fd/ring"
+	"repro/internal/network"
+	"repro/internal/rbcast"
+)
+
+// TestConsensusOverFairLossyLinks goes beyond the paper's reliable-link
+// model: every link drops 15% of messages, forever. The detector's adaptive
+// timeouts absorb the flapping, and the catch-up machinery (idle
+// retransmission + decided-responders) replaces the lost protocol and
+// decision messages, so Uniform Consensus still terminates with all
+// properties intact.
+func TestConsensusOverFairLossyLinks(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		net := network.FairLossy{
+			P:     0.15,
+			Under: network.PartiallySynchronous{GST: 0, Delta: 8 * time.Millisecond},
+		}
+		crashes := map[dsys.ProcessID]time.Duration{}
+		if seed%2 == 1 {
+			crashes[dsys.ProcessID(seed%5+1)] = time.Duration(20+seed*9) * time.Millisecond
+		}
+		res := conslab.Run(conslab.Setup{
+			N:       5,
+			Seed:    seed,
+			Net:     net,
+			Crashes: crashes,
+			Run: func(p dsys.Proc, rb *rbcast.Module, v any, opt consensus.Options) consensus.Result {
+				return cec.Propose(p, ring.Start(p, ring.Options{}), rb, v, opt)
+			},
+			RunFor: 60 * time.Second,
+		})
+		if err := res.Verify(5); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestHeavyLossEventuallyDecides pushes loss to 40%: slower, but the
+// retransmission machinery must still get everyone to a decision.
+func TestHeavyLossEventuallyDecides(t *testing.T) {
+	net := network.FairLossy{
+		P:     0.4,
+		Under: network.PartiallySynchronous{GST: 0, Delta: 8 * time.Millisecond},
+	}
+	res := conslab.Run(conslab.Setup{
+		N:    5,
+		Seed: 77,
+		Net:  net,
+		Run: func(p dsys.Proc, rb *rbcast.Module, v any, opt consensus.Options) consensus.Result {
+			return cec.Propose(p, ring.Start(p, ring.Options{}), rb, v, opt)
+		},
+		RunFor: 120 * time.Second,
+	})
+	if err := res.Verify(5); err != nil {
+		t.Fatal(err)
+	}
+}

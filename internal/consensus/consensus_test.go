@@ -1,0 +1,60 @@
+package consensus_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/dsys"
+)
+
+func TestMatchFiltersByPrefixAndInstance(t *testing.T) {
+	match := consensus.Match("cec.", "inst-A")
+	cases := []struct {
+		kind    string
+		payload any
+		want    bool
+	}{
+		{"cec.est", consensus.Msg{Inst: "inst-A"}, true},
+		{"cec.prop", consensus.Msg{Inst: "inst-A", Round: 3}, true},
+		{"cec.est", consensus.Msg{Inst: "inst-B"}, false},
+		{"ctc.est", consensus.Msg{Inst: "inst-A"}, false},
+		{"cec.est", "not-an-envelope", false},
+		{"rb.msg", consensus.Msg{Inst: "inst-A"}, false},
+	}
+	for i, c := range cases {
+		m := &dsys.Message{Kind: c.kind, Payload: c.payload}
+		if got := match(m); got != c.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, c.kind, got, c.want)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := consensus.Options{}.WithDefaults()
+	if o.Poll != time.Millisecond {
+		t.Errorf("default Poll = %v", o.Poll)
+	}
+	o = consensus.Options{Poll: 5 * time.Millisecond}.WithDefaults()
+	if o.Poll != 5*time.Millisecond {
+		t.Errorf("explicit Poll overridden: %v", o.Poll)
+	}
+}
+
+func TestRoundProbe(t *testing.T) {
+	rp := &consensus.RoundProbe{}
+	if rp.Max() != 0 {
+		t.Errorf("empty Max = %d", rp.Max())
+	}
+	rp.Set(1, 3)
+	rp.Set(2, 7)
+	rp.Set(1, 5)
+	if rp.Max() != 7 {
+		t.Errorf("Max = %d, want 7", rp.Max())
+	}
+	// Rounds never regress.
+	rp.Set(2, 2)
+	if rp.Max() != 7 {
+		t.Errorf("Max regressed to %d", rp.Max())
+	}
+}

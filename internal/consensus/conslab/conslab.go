@@ -1,0 +1,92 @@
+// Package conslab is the shared scaffolding for consensus experiments and
+// integration tests: it wires n simulated processes, gives each a reliable
+// broadcast module and a proposal, runs one consensus algorithm per process,
+// records proposals and decisions in a check.ConsensusLog, and injects
+// crashes and detector scripting.
+package conslab
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/consensus"
+	"repro/internal/dsys"
+	"repro/internal/network"
+	"repro/internal/rbcast"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Runner executes one consensus algorithm at one process and returns its
+// decision. Implementations typically construct the process's failure
+// detector (or capture a scripted one) and call the algorithm's Propose.
+type Runner func(p dsys.Proc, rb *rbcast.Module, v any, opt consensus.Options) consensus.Result
+
+// Setup describes one consensus run.
+type Setup struct {
+	// N is the number of processes.
+	N int
+	// Seed drives all randomness.
+	Seed int64
+	// Net is the link model (default: reliable 1ms links).
+	Net network.Network
+	// Crashes maps processes to crash times.
+	Crashes map[dsys.ProcessID]time.Duration
+	// Proposals maps processes to proposals (default "v<id>").
+	Proposals map[dsys.ProcessID]any
+	// Run is the per-process algorithm. Required.
+	Run Runner
+	// Opt is passed to every Propose call.
+	Opt consensus.Options
+	// RunFor bounds the run in virtual time (default 30s).
+	RunFor time.Duration
+	// Before, if set, is called with the kernel before the run starts, for
+	// scheduling detector scripting or extra instrumentation.
+	Before func(k *sim.Kernel)
+}
+
+// Result is a completed consensus run.
+type Result struct {
+	Log      *check.ConsensusLog
+	Messages *trace.Collector
+	End      time.Duration
+	Crashed  map[dsys.ProcessID]time.Duration
+}
+
+// Verify checks the Uniform Consensus properties over the run.
+func (r Result) Verify(n int) error { return r.Log.Verify(n, r.Crashed) }
+
+// Run executes the setup.
+func Run(s Setup) Result {
+	if s.Net == nil {
+		s.Net = network.Reliable{Latency: network.Fixed(time.Millisecond)}
+	}
+	if s.RunFor <= 0 {
+		s.RunFor = 30 * time.Second
+	}
+	col := trace.NewCollector()
+	k := sim.New(sim.Config{N: s.N, Network: s.Net, Seed: s.Seed, Trace: col})
+	log := check.NewConsensusLog()
+	for _, id := range dsys.Pids(s.N) {
+		id := id
+		v, ok := s.Proposals[id]
+		if !ok {
+			v = fmt.Sprintf("v%d", id)
+		}
+		k.Spawn(id, "consensus", func(p dsys.Proc) {
+			rb := rbcast.Start(p)
+			log.Propose(id, v)
+			res := s.Run(p, rb, v, s.Opt)
+			log.Decide(id, res.Value, res.At, res.Round)
+		})
+	}
+	for id, at := range s.Crashes {
+		k.CrashAt(id, at)
+	}
+	if s.Before != nil {
+		s.Before(k)
+	}
+	end := k.Run(s.RunFor)
+	return Result{Log: log, Messages: col, End: end, Crashed: col.Crashed()}
+}

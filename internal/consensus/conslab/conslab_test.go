@@ -1,0 +1,92 @@
+package conslab_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/conslab"
+	"repro/internal/dsys"
+	"repro/internal/rbcast"
+	"repro/internal/sim"
+)
+
+// echoRunner decides its own proposal instantly — enough to test the lab's
+// bookkeeping without a real algorithm.
+func echoRunner(p dsys.Proc, rb *rbcast.Module, v any, opt consensus.Options) consensus.Result {
+	return consensus.Result{Value: v, Round: 1, At: p.Now()}
+}
+
+func TestDefaultProposalsAndRecording(t *testing.T) {
+	res := conslab.Run(conslab.Setup{N: 3, Seed: 1, Run: echoRunner})
+	for _, id := range dsys.Pids(3) {
+		d, ok := res.Log.Decided(id)
+		if !ok {
+			t.Fatalf("%v not recorded", id)
+		}
+		want := "v" + id.String()[1:]
+		if d.Value != want {
+			t.Errorf("%v decided %v, want %v", id, d.Value, want)
+		}
+	}
+	// Verify must FAIL here: everyone "decided" differently (the echo
+	// runner is not a consensus algorithm) — which also proves the checker
+	// has teeth.
+	if err := res.Verify(3); err == nil {
+		t.Error("Verify accepted divergent decisions")
+	}
+}
+
+func TestExplicitProposals(t *testing.T) {
+	res := conslab.Run(conslab.Setup{
+		N:         2,
+		Seed:      1,
+		Proposals: map[dsys.ProcessID]any{1: "x", 2: "x"},
+		Run:       echoRunner,
+	})
+	if err := res.Verify(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashesPreventDecisionRecording(t *testing.T) {
+	res := conslab.Run(conslab.Setup{
+		N:    3,
+		Seed: 1,
+		Crashes: map[dsys.ProcessID]time.Duration{
+			2: time.Millisecond,
+		},
+		Run: func(p dsys.Proc, rb *rbcast.Module, v any, opt consensus.Options) consensus.Result {
+			p.Sleep(10 * time.Millisecond) // p2 crashes during this sleep
+			return consensus.Result{Value: "same", Round: 1, At: p.Now()}
+		},
+		Proposals: map[dsys.ProcessID]any{1: "same", 2: "same", 3: "same"},
+	})
+	if _, ok := res.Log.Decided(2); ok {
+		t.Error("crashed process recorded a decision")
+	}
+	if err := res.Verify(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Crashed[2]; !ok {
+		t.Error("crash not recorded")
+	}
+}
+
+func TestBeforeHookRuns(t *testing.T) {
+	ran := false
+	conslab.Run(conslab.Setup{
+		N:    1,
+		Seed: 1,
+		Run:  echoRunner,
+		Before: func(k *sim.Kernel) {
+			ran = true
+			if k.N() != 1 {
+				t.Errorf("kernel N = %d", k.N())
+			}
+		},
+	})
+	if !ran {
+		t.Error("Before hook skipped")
+	}
+}

@@ -1,0 +1,275 @@
+// Package ctc implements the Chandra–Toueg ◇S-based Uniform Consensus
+// algorithm (JACM 1996), the rotating-coordinator baseline the paper
+// compares against in Section 5.4. It assumes a majority of correct
+// processes (f < n/2) and a failure detector with the ◇S properties.
+//
+// Rounds use the rotating coordinator paradigm: the coordinator of round r
+// is p_((r−1) mod n)+1, known in advance by everyone. Each round has four
+// asynchronous phases:
+//
+//	Phase 1  everyone sends its time-stamped estimate to the coordinator;
+//	Phase 2  the coordinator waits for estimates from a majority, selects
+//	         the one with the largest timestamp and sends it to all;
+//	Phase 3  everyone waits for the coordinator's proposal — adopting and
+//	         acking it — or suspects the coordinator and nacks;
+//	Phase 4  the coordinator waits for replies from the FIRST majority; if
+//	         all of them are acks it R-broadcasts the decision.
+//
+// Two deliberate contrasts with the paper's ◇C algorithm (package cec) are
+// the subject of experiments E6 and E7: the coordinator is chosen by round
+// number rather than by leader election, so after the detector stabilizes
+// the round whose coordinator is the never-suspected process can be up to
+// n−1 rounds away (Theorem 3); and Phase 4 stops at the first majority of
+// replies, so a single nack in that majority prevents the decision even when
+// a majority of acks would eventually arrive.
+package ctc
+
+import (
+	"repro/internal/consensus"
+	"repro/internal/dsys"
+	"repro/internal/fd"
+	"repro/internal/rbcast"
+)
+
+// Message kinds.
+const (
+	KindEst  = "ctc.est"
+	KindProp = "ctc.prop"
+	KindAck  = "ctc.ack"
+	KindNack = "ctc.nack"
+)
+
+// Coordinator returns the rotating coordinator of round r among n
+// processes: p1 for round 1, p2 for round 2, ..., wrapping around.
+func Coordinator(r, n int) dsys.ProcessID {
+	return dsys.ProcessID((r-1)%n + 1)
+}
+
+// Stats reports per-run counters of one process's Propose call.
+type Stats struct {
+	// Rounds is the number of rounds this process entered.
+	Rounds int
+	// NacksSent counts nack messages this process sent.
+	NacksSent int
+	// BlockedByNack counts rounds in which this process, as coordinator,
+	// had a majority of acks outstanding but a nack inside its first
+	// majority of replies killed the round.
+	BlockedByNack int
+}
+
+type reply struct {
+	from dsys.ProcessID
+	ack  bool
+}
+
+type state struct {
+	p    dsys.Proc
+	d    fd.Suspector
+	rb   *rbcast.Module
+	opt  consensus.Options
+	self dsys.ProcessID
+	n    int
+	maj  int
+
+	r        int
+	estimate any
+	ts       int
+
+	ests      map[int]map[dsys.ProcessID]consensus.Msg
+	props     map[int]map[dsys.ProcessID]consensus.Msg
+	replies   map[int][]reply // in arrival order — "first majority" semantics
+	replied   map[int]map[dsys.ProcessID]bool
+	matchAll  dsys.MatchFunc
+	decidedCh chan consensus.Result
+	decided   *consensus.Result
+	stats     Stats
+}
+
+// Propose runs one Uniform Consensus instance at this process, proposing v,
+// using the ◇S suspector d. It blocks until this process decides.
+func Propose(p dsys.Proc, d fd.Suspector, rb *rbcast.Module, v any, opt consensus.Options) consensus.Result {
+	return propose(p, d, rb, v, opt, nil)
+}
+
+// ProposeStats is Propose with run statistics reported into st.
+func ProposeStats(p dsys.Proc, d fd.Suspector, rb *rbcast.Module, v any, opt consensus.Options, st *Stats) consensus.Result {
+	return propose(p, d, rb, v, opt, st)
+}
+
+func propose(p dsys.Proc, d fd.Suspector, rb *rbcast.Module, v any, opt consensus.Options, report *Stats) consensus.Result {
+	opt = opt.WithDefaults()
+	st := &state{
+		p: p, d: d, rb: rb, opt: opt,
+		self: p.ID(), n: p.N(), maj: dsys.Majority(p.N()),
+		estimate: v,
+		ests:     make(map[int]map[dsys.ProcessID]consensus.Msg),
+		props:    make(map[int]map[dsys.ProcessID]consensus.Msg),
+		replies:  make(map[int][]reply),
+		replied:  make(map[int]map[dsys.ProcessID]bool),
+		matchAll: consensus.Match("ctc.", opt.Instance),
+
+		decidedCh: make(chan consensus.Result, 1),
+	}
+	cancel := rb.OnDeliver(st.onRDeliver)
+	defer cancel()
+	for st.checkDecided() == nil {
+		st.runRound()
+	}
+	if report != nil {
+		*report = st.stats
+	}
+	return *st.decided
+}
+
+func (st *state) onRDeliver(p dsys.Proc, _ dsys.ProcessID, payload any) {
+	dec, ok := payload.(consensus.Decide)
+	if !ok || dec.Inst != st.opt.Instance {
+		return
+	}
+	select {
+	case st.decidedCh <- consensus.Result{Value: dec.Value, Round: dec.Round, At: p.Now()}:
+	default:
+	}
+}
+
+func (st *state) checkDecided() *consensus.Result {
+	if st.decided != nil {
+		return st.decided
+	}
+	select {
+	case res := <-st.decidedCh:
+		st.decided = &res
+	default:
+	}
+	if st.decided == nil && st.opt.PreDecided != nil {
+		if v, r, ok := st.opt.PreDecided(); ok {
+			st.decided = &consensus.Result{Value: v, Round: r, At: st.p.Now()}
+		}
+	}
+	return st.decided
+}
+
+func (st *state) pump() {
+	if m, ok := st.p.RecvTimeout(st.matchAll, st.opt.Poll); ok {
+		st.dispatch(m)
+	}
+}
+
+func (st *state) send(to dsys.ProcessID, kind string, env consensus.Msg) {
+	env.Inst = st.opt.Instance
+	st.p.Send(to, kind, env)
+}
+
+func (st *state) dispatch(m *dsys.Message) {
+	env := m.Payload.(consensus.Msg)
+	r := env.Round
+	switch m.Kind {
+	case KindEst:
+		if st.ests[r] == nil {
+			st.ests[r] = make(map[dsys.ProcessID]consensus.Msg)
+		}
+		if _, dup := st.ests[r][m.From]; !dup {
+			st.ests[r][m.From] = env
+		}
+	case KindProp:
+		if st.props[r] == nil {
+			st.props[r] = make(map[dsys.ProcessID]consensus.Msg)
+		}
+		if _, dup := st.props[r][m.From]; !dup {
+			st.props[r][m.From] = env
+		}
+	case KindAck, KindNack:
+		if st.replied[r] == nil {
+			st.replied[r] = make(map[dsys.ProcessID]bool)
+		}
+		if !st.replied[r][m.From] {
+			st.replied[r][m.From] = true
+			st.replies[r] = append(st.replies[r], reply{from: m.From, ack: m.Kind == KindAck})
+		}
+	}
+}
+
+func (st *state) runRound() {
+	st.r++
+	r := st.r
+	st.stats.Rounds++
+	if st.opt.RoundProbe != nil {
+		st.opt.RoundProbe.Set(st.self, r)
+	}
+	coord := Coordinator(r, st.n)
+
+	// Phase 1: estimates to the rotating coordinator.
+	st.send(coord, KindEst, consensus.Msg{Round: r, Est: st.estimate, TS: st.ts})
+
+	// Phase 2: the coordinator gathers a majority of estimates (its own
+	// included) and relays the one with the largest timestamp.
+	if coord == st.self {
+		for len(st.ests[r]) < st.maj {
+			if st.checkDecided() != nil {
+				return
+			}
+			st.pump()
+		}
+		var best *consensus.Msg
+		for _, q := range dsys.Pids(st.n) {
+			env, ok := st.ests[r][q]
+			if !ok {
+				continue
+			}
+			if best == nil || env.TS > best.TS {
+				e := env
+				best = &e
+			}
+		}
+		for _, q := range dsys.Pids(st.n) {
+			st.send(q, KindProp, consensus.Msg{Round: r, Est: best.Est})
+		}
+	}
+
+	// Phase 3: wait for the coordinator's proposal or suspect it.
+	for {
+		if st.checkDecided() != nil {
+			return
+		}
+		if env, ok := st.props[r][coord]; ok {
+			st.estimate = env.Est
+			st.ts = r
+			st.send(coord, KindAck, consensus.Msg{Round: r})
+			break
+		}
+		if coord != st.self && st.d.Suspected().Has(coord) {
+			st.send(coord, KindNack, consensus.Msg{Round: r})
+			st.stats.NacksSent++
+			break
+		}
+		st.pump()
+	}
+
+	// Phase 4: the coordinator inspects the FIRST majority of replies and
+	// decides only if all of them are acks.
+	if coord == st.self {
+		for len(st.replies[r]) < st.maj {
+			if st.checkDecided() != nil {
+				return
+			}
+			st.pump()
+		}
+		first := st.replies[r][:st.maj]
+		allAck := true
+		for _, rep := range first {
+			if !rep.ack {
+				allAck = false
+				break
+			}
+		}
+		if allAck {
+			st.rb.Broadcast(st.p, consensus.Decide{
+				Inst:  st.opt.Instance,
+				Round: r,
+				Value: st.estimate,
+			})
+		} else {
+			st.stats.BlockedByNack++
+		}
+	}
+}

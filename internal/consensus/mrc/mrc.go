@@ -1,0 +1,305 @@
+// Package mrc implements an Ω-based, leader-driven Uniform Consensus
+// algorithm in the style of Mostefaoui and Raynal's "Leader-Based Consensus"
+// (Parallel Processing Letters 11(1), 2001), the second baseline of the
+// paper's Section 5.4. It assumes a majority of correct processes and an Ω
+// failure detector (only a trusted process — no suspect sets).
+//
+// The exact PPL'01 text is unavailable offline; this is a reconstruction
+// that preserves every property the paper's comparison relies on (see
+// DESIGN.md): it does not use the rotating coordinator paradigm, each of its
+// three phases per round opens with a broadcast (Θ(n²) messages per round,
+// the paper quotes 3n²), it decides one round after the detector stabilizes,
+// and — because Ω gives no completeness information — every wait is cut off
+// at the first majority of replies, so a single ⊥ ("negative reply") inside
+// that first majority blocks the round's decision.
+//
+// Round r:
+//
+//	Phase 1  everyone broadcasts (leader_p, estimate, ts) and collects the
+//	         first majority of such messages;
+//	Phase 2  a process unanimously named leader by its first majority
+//	         broadcasts the largest-timestamp estimate from that majority
+//	         as its proposal; everyone else broadcasts "no proposal";
+//	         every process waits for the phase-2 message of the process its
+//	         own first majority named (⊥ immediately if the naming was not
+//	         unanimous; escape with ⊥ if its Ω leader changes);
+//	Phase 3  everyone broadcasts the value obtained (v or ⊥) and collects
+//	         the first majority: all v → R-broadcast decide(v); any v →
+//	         adopt v with timestamp r.
+//
+// Safety of the reconstruction: at most one process per round can be
+// unanimously named by a majority (two majorities intersect, and the common
+// sender named one leader), so non-⊥ phase-3 values are unique per round and
+// the Chandra–Toueg locking argument applies verbatim.
+package mrc
+
+import (
+	"repro/internal/consensus"
+	"repro/internal/dsys"
+	"repro/internal/fd"
+	"repro/internal/rbcast"
+)
+
+// Message kinds.
+const (
+	KindLdr  = "mrc.ldr"  // Phase 1: (leader, est, ts)
+	KindProp = "mrc.prop" // Phase 2: proposal or no-proposal
+	KindAck  = "mrc.ack"  // Phase 3: obtained value or ⊥
+)
+
+// Stats reports per-run counters of one process's Propose call.
+type Stats struct {
+	// Rounds is the number of rounds this process entered.
+	Rounds int
+	// BlockedByBottom counts rounds in which this process saw at least one
+	// v among its first majority of phase-3 replies but a ⊥ prevented the
+	// unanimity needed to decide.
+	BlockedByBottom int
+}
+
+// LdrInfo rides in consensus.Msg.Est for phase 1: the named leader and the
+// sender's estimate. Exported for transport serialization (package tcpnet).
+type LdrInfo struct {
+	Leader dsys.ProcessID
+	Est    any
+}
+
+type arrival struct {
+	from dsys.ProcessID
+	env  consensus.Msg
+}
+
+type state struct {
+	p    dsys.Proc
+	d    fd.LeaderOracle
+	rb   *rbcast.Module
+	opt  consensus.Options
+	self dsys.ProcessID
+	n    int
+	maj  int
+
+	r        int
+	estimate any
+	ts       int
+
+	byKind    map[string]map[int][]arrival // kind -> round -> arrivals in order
+	seen      map[string]map[int]map[dsys.ProcessID]bool
+	matchAll  dsys.MatchFunc
+	decidedCh chan consensus.Result
+	decided   *consensus.Result
+	stats     Stats
+}
+
+// Propose runs one Uniform Consensus instance at this process, proposing v,
+// using the Ω oracle d. It blocks until this process decides.
+func Propose(p dsys.Proc, d fd.LeaderOracle, rb *rbcast.Module, v any, opt consensus.Options) consensus.Result {
+	return propose(p, d, rb, v, opt, nil)
+}
+
+// ProposeStats is Propose with run statistics reported into st.
+func ProposeStats(p dsys.Proc, d fd.LeaderOracle, rb *rbcast.Module, v any, opt consensus.Options, st *Stats) consensus.Result {
+	return propose(p, d, rb, v, opt, st)
+}
+
+func propose(p dsys.Proc, d fd.LeaderOracle, rb *rbcast.Module, v any, opt consensus.Options, report *Stats) consensus.Result {
+	opt = opt.WithDefaults()
+	st := &state{
+		p: p, d: d, rb: rb, opt: opt,
+		self: p.ID(), n: p.N(), maj: dsys.Majority(p.N()),
+		estimate:  v,
+		byKind:    make(map[string]map[int][]arrival),
+		seen:      make(map[string]map[int]map[dsys.ProcessID]bool),
+		matchAll:  consensus.Match("mrc.", opt.Instance),
+		decidedCh: make(chan consensus.Result, 1),
+	}
+	cancel := rb.OnDeliver(st.onRDeliver)
+	defer cancel()
+	for st.checkDecided() == nil {
+		st.runRound()
+	}
+	if report != nil {
+		*report = st.stats
+	}
+	return *st.decided
+}
+
+func (st *state) onRDeliver(p dsys.Proc, _ dsys.ProcessID, payload any) {
+	dec, ok := payload.(consensus.Decide)
+	if !ok || dec.Inst != st.opt.Instance {
+		return
+	}
+	select {
+	case st.decidedCh <- consensus.Result{Value: dec.Value, Round: dec.Round, At: p.Now()}:
+	default:
+	}
+}
+
+func (st *state) checkDecided() *consensus.Result {
+	if st.decided != nil {
+		return st.decided
+	}
+	select {
+	case res := <-st.decidedCh:
+		st.decided = &res
+	default:
+	}
+	if st.decided == nil && st.opt.PreDecided != nil {
+		if v, r, ok := st.opt.PreDecided(); ok {
+			st.decided = &consensus.Result{Value: v, Round: r, At: st.p.Now()}
+		}
+	}
+	return st.decided
+}
+
+func (st *state) pump() {
+	if m, ok := st.p.RecvTimeout(st.matchAll, st.opt.Poll); ok {
+		st.dispatch(m)
+	}
+}
+
+func (st *state) dispatch(m *dsys.Message) {
+	env := m.Payload.(consensus.Msg)
+	if st.byKind[m.Kind] == nil {
+		st.byKind[m.Kind] = make(map[int][]arrival)
+		st.seen[m.Kind] = make(map[int]map[dsys.ProcessID]bool)
+	}
+	if st.seen[m.Kind][env.Round] == nil {
+		st.seen[m.Kind][env.Round] = make(map[dsys.ProcessID]bool)
+	}
+	if st.seen[m.Kind][env.Round][m.From] {
+		return
+	}
+	st.seen[m.Kind][env.Round][m.From] = true
+	st.byKind[m.Kind][env.Round] = append(st.byKind[m.Kind][env.Round], arrival{from: m.From, env: env})
+}
+
+func (st *state) broadcast(kind string, env consensus.Msg) {
+	env.Inst = st.opt.Instance
+	for _, q := range st.p.All() {
+		st.p.Send(q, kind, env)
+	}
+}
+
+// firstMaj returns the first majority of arrivals of kind for round r,
+// waiting as needed. It returns nil if a decision interrupted the wait.
+func (st *state) firstMaj(kind string, r int) []arrival {
+	for {
+		if st.checkDecided() != nil {
+			return nil
+		}
+		if as := st.byKind[kind][r]; len(as) >= st.maj {
+			return as[:st.maj]
+		}
+		st.pump()
+	}
+}
+
+func (st *state) runRound() {
+	st.r++
+	r := st.r
+	st.stats.Rounds++
+	if st.opt.RoundProbe != nil {
+		st.opt.RoundProbe.Set(st.self, r)
+	}
+
+	// Phase 1: broadcast our leader's identity and our estimate.
+	myLeader := st.d.Trusted()
+	st.broadcast(KindLdr, consensus.Msg{Round: r, Est: LdrInfo{Leader: myLeader, Est: st.estimate}, TS: st.ts})
+	p1 := st.firstMaj(KindLdr, r)
+	if p1 == nil {
+		return
+	}
+
+	// The process unanimously named by the first majority (if any) is this
+	// round's coordinator candidate in our view.
+	cand := p1[0].env.Est.(LdrInfo).Leader
+	for _, a := range p1[1:] {
+		if a.env.Est.(LdrInfo).Leader != cand {
+			cand = dsys.None
+			break
+		}
+	}
+
+	// Phase 2: if we were unanimously named by our own first majority we
+	// propose the largest-timestamp estimate from it; otherwise we announce
+	// that we have nothing to propose. Either way we broadcast, so nobody
+	// waits on us in vain.
+	if cand == st.self {
+		best := p1[0]
+		for _, a := range p1[1:] {
+			if a.env.TS > best.env.TS {
+				best = a
+			}
+		}
+		st.broadcast(KindProp, consensus.Msg{Round: r, Est: best.env.Est.(LdrInfo).Est})
+	} else {
+		st.broadcast(KindProp, consensus.Msg{Round: r, Null: true})
+	}
+
+	// Wait for the phase-2 message of our candidate; with no candidate the
+	// obtained value is ⊥ immediately. If our Ω leader moves away from the
+	// candidate (it crashed, or the election is still unstable) we also
+	// give up with ⊥ — Ω gives us no suspect set to consult.
+	var obtained any
+	haveV := false
+	if cand != dsys.None {
+		for {
+			if st.checkDecided() != nil {
+				return
+			}
+			if env, ok := st.from(KindProp, r, cand); ok {
+				if !env.Null {
+					obtained = env.Est
+					haveV = true
+				}
+				break
+			}
+			if st.d.Trusted() != cand {
+				break
+			}
+			st.pump()
+		}
+	}
+	if haveV {
+		// Adopt on acknowledgement, as in Chandra–Toueg: the value is
+		// locked before the ack is visible to anyone.
+		st.estimate = obtained
+		st.ts = r
+	}
+
+	// Phase 3: broadcast the obtained value (or ⊥) and inspect the first
+	// majority of phase-3 messages.
+	st.broadcast(KindAck, consensus.Msg{Round: r, Est: obtained, Null: !haveV})
+	p3 := st.firstMaj(KindAck, r)
+	if p3 == nil {
+		return
+	}
+	var v any
+	sawV, sawBottom := false, false
+	for _, a := range p3 {
+		if a.env.Null {
+			sawBottom = true
+		} else {
+			v = a.env.Est
+			sawV = true
+		}
+	}
+	switch {
+	case sawV && !sawBottom:
+		st.rb.Broadcast(st.p, consensus.Decide{Inst: st.opt.Instance, Round: r, Value: v})
+	case sawV:
+		st.stats.BlockedByBottom++
+		st.estimate = v
+		st.ts = r
+	}
+}
+
+// from returns the arrival of kind for round r sent by q, if received.
+func (st *state) from(kind string, r int, q dsys.ProcessID) (consensus.Msg, bool) {
+	for _, a := range st.byKind[kind][r] {
+		if a.from == q {
+			return a.env, true
+		}
+	}
+	return consensus.Msg{}, false
+}

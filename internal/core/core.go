@@ -1,0 +1,268 @@
+// Package core ties the paper's pieces together into the service a
+// downstream user would actually deploy: a crash-tolerant replicated log
+// (state machine replication) built from an eventually consistent (◇C)
+// failure detector, Reliable Broadcast, and the paper's ◇C consensus
+// algorithm run once per log slot.
+//
+// Each process runs a Replica. Commands submitted at any replica are ordered
+// by consensus and applied, in the same order, at every correct replica.
+// Because the consensus algorithm exploits the ◇C leader, the common case
+// costs one consensus round per slot, coordinated by the detector's stable
+// leader — no rotating through crashed or slow coordinators.
+//
+// Slots are driven lazily: a replica with pending commands announces the
+// slot to the others (a "kick" carrying its first pending command), so idle
+// replicas join the instance proposing the kicker's command rather than a
+// no-op; consequently every decided slot carries a real command. Replicas
+// that learn a slot's outcome only from the decision broadcast (they were
+// busy elsewhere when the instance ran) fast-forward through it without
+// sending a message.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/cec"
+	"repro/internal/dsys"
+	"repro/internal/fd"
+	"repro/internal/fd/ring"
+	"repro/internal/rbcast"
+)
+
+// KindKick is the message kind of slot announcements (suffixed with the
+// instance namespace when one is configured).
+const KindKick = "core.kick"
+
+// Command is one entry ordered by the log. Origin and Seq identify it
+// uniquely (Seq is a per-origin counter), so Commands are comparable and a
+// command is applied exactly once.
+type Command struct {
+	Origin  dsys.ProcessID
+	Seq     int
+	Payload any
+}
+
+// noop is proposed only on fast-forward paths that never send; it is never
+// decided (see package comment) but guarded against in apply anyway.
+type noop struct{}
+
+// Kick is the payload of slot announcements. Exported for transport
+// serialization (package tcpnet).
+type Kick struct {
+	Slot int
+	Cmd  Command
+}
+
+// Config configures a Replica. The zero value is usable.
+type Config struct {
+	// Detector supplies the ◇C modules; if nil a ring detector is started
+	// with Ring options.
+	Detector fd.EventuallyConsistent
+	// Ring configures the default ring detector (ignored when Detector is
+	// set).
+	Ring ring.Options
+	// Consensus is the base for per-slot consensus options; Instance is
+	// used as a namespace prefix.
+	Consensus consensus.Options
+	// Apply is called on the replica's task for every decided command, in
+	// slot order. Optional.
+	Apply func(slot int, cmd Command)
+	// IdlePoll is how often an idle replica re-checks for work (default
+	// 2ms).
+	IdlePoll time.Duration
+}
+
+// Replica is one process's replicated-log engine.
+type Replica struct {
+	cfg  Config
+	self dsys.ProcessID
+	det  fd.EventuallyConsistent
+	rb   *rbcast.Module
+
+	mu       sync.Mutex
+	pending  []Command
+	nextSeq  int
+	decided  map[string]consensus.Decide // instance name -> decision
+	applied  []AppliedEntry
+	slot     int    // next slot this replica will work on
+	kickKind string // KindKick, namespaced by the instance
+}
+
+// AppliedEntry is one applied log entry.
+type AppliedEntry struct {
+	Slot int
+	Cmd  Command
+}
+
+// StartReplica attaches a replica to p's process and starts its tasks.
+func StartReplica(p dsys.Proc, cfg Config) *Replica {
+	if cfg.IdlePoll <= 0 {
+		cfg.IdlePoll = 2 * time.Millisecond
+	}
+	r := &Replica{
+		cfg:      cfg,
+		self:     p.ID(),
+		det:      cfg.Detector,
+		decided:  make(map[string]consensus.Decide),
+		slot:     1,
+		kickKind: KindKick,
+	}
+	if cfg.Consensus.Instance != "" {
+		r.kickKind += "/" + cfg.Consensus.Instance
+	}
+	if r.det == nil {
+		r.det = ring.Start(p, cfg.Ring)
+	}
+	r.rb = rbcast.StartNamespace(p, cfg.Consensus.Instance)
+	r.rb.OnDeliver(func(_ dsys.Proc, _ dsys.ProcessID, payload any) {
+		if dec, ok := payload.(consensus.Decide); ok {
+			r.mu.Lock()
+			if _, dup := r.decided[dec.Inst]; !dup {
+				r.decided[dec.Inst] = dec
+			}
+			r.mu.Unlock()
+		}
+	})
+	p.Spawn("core-log", r.logTask)
+	return r
+}
+
+// Detector returns the replica's failure detector module.
+func (r *Replica) Detector() fd.EventuallyConsistent { return r.det }
+
+// Submit enqueues a command payload for ordering and returns its identity.
+// It may be called from any task of the replica's process and returns
+// immediately; the command is applied everywhere once ordered.
+func (r *Replica) Submit(payload any) Command {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextSeq++
+	cmd := Command{Origin: r.self, Seq: r.nextSeq, Payload: payload}
+	r.pending = append(r.pending, cmd)
+	return cmd
+}
+
+// PendingCount returns the number of submitted-but-unordered commands.
+func (r *Replica) PendingCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// Applied returns the applied (slot, command) records so far, in order.
+func (r *Replica) Applied() []AppliedEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]AppliedEntry, len(r.applied))
+	copy(out, r.applied)
+	return out
+}
+
+// AppliedValues returns just the applied command payloads, in log order.
+func (r *Replica) AppliedValues() []any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]any, len(r.applied))
+	for i, a := range r.applied {
+		out[i] = a.Cmd.Payload
+	}
+	return out
+}
+
+func (r *Replica) instance(slot int) string {
+	return fmt.Sprintf("%s/log/%d", r.cfg.Consensus.Instance, slot)
+}
+
+func (r *Replica) lookupDecided(slot int) (any, int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if dec, ok := r.decided[r.instance(slot)]; ok {
+		return dec.Value, dec.Round, true
+	}
+	return nil, 0, false
+}
+
+func (r *Replica) logTask(p dsys.Proc) {
+	var kickHigh int
+	var kickCmd Command
+	matchKick := dsys.MatchKind(r.kickKind)
+	for {
+		slot := r.slot
+
+		// Wait for a reason to run this slot: a pending command of our own,
+		// a kick from another replica, or an already-known decision.
+		for {
+			if _, _, ok := r.lookupDecided(slot); ok {
+				break
+			}
+			r.mu.Lock()
+			hasPending := len(r.pending) > 0
+			r.mu.Unlock()
+			if hasPending || kickHigh >= slot {
+				break
+			}
+			if m, ok := p.RecvTimeout(matchKick, r.cfg.IdlePoll); ok {
+				k := m.Payload.(Kick)
+				if k.Slot > kickHigh {
+					kickHigh = k.Slot
+					kickCmd = k.Cmd
+				}
+			}
+		}
+
+		// Choose our proposal: our own first pending command; else the
+		// kicker's command; else (fast-forward only) a no-op.
+		r.mu.Lock()
+		var prop Command
+		switch {
+		case len(r.pending) > 0:
+			prop = r.pending[0]
+		case kickHigh >= slot:
+			prop = kickCmd
+		default:
+			prop = Command{Origin: r.self, Payload: noop{}}
+		}
+		ownProposal := len(r.pending) > 0
+		r.mu.Unlock()
+
+		if ownProposal {
+			// Announce the slot so idle replicas join it with our command.
+			for _, q := range p.All() {
+				if q != r.self {
+					p.Send(q, r.kickKind, Kick{Slot: slot, Cmd: prop})
+				}
+			}
+		}
+
+		opt := r.cfg.Consensus
+		opt.Instance = r.instance(slot)
+		opt.PreDecided = func() (any, int, bool) { return r.lookupDecided(slot) }
+		res := cec.Propose(p, r.det, r.rb, prop, opt)
+
+		cmd, isCmd := res.Value.(Command)
+		r.mu.Lock()
+		if isCmd {
+			if _, isNoop := cmd.Payload.(noop); !isNoop {
+				r.applied = append(r.applied, AppliedEntry{Slot: slot, Cmd: cmd})
+				if r.cfg.Apply != nil {
+					apply := r.cfg.Apply
+					r.mu.Unlock()
+					apply(slot, cmd)
+					r.mu.Lock()
+				}
+			}
+			// Drop the decided command from our queue if it was ours.
+			for i, pc := range r.pending {
+				if pc.Origin == cmd.Origin && pc.Seq == cmd.Seq {
+					r.pending = append(r.pending[:i], r.pending[i+1:]...)
+					break
+				}
+			}
+		}
+		r.slot = slot + 1
+		r.mu.Unlock()
+	}
+}

@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dsys"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Three replicas order commands submitted at different processes into one
+// agreed log.
+func ExampleReplica() {
+	k := sim.New(sim.Config{
+		N:       3,
+		Network: network.Reliable{Latency: network.Fixed(time.Millisecond)},
+		Seed:    1,
+	})
+	reps := make(map[dsys.ProcessID]*core.Replica)
+	for _, id := range dsys.Pids(3) {
+		id := id
+		k.Spawn(id, "replica", func(p dsys.Proc) {
+			reps[id] = core.StartReplica(p, core.Config{})
+		})
+	}
+	k.ScheduleFunc(10*time.Millisecond, func(time.Duration) {
+		reps[2].Submit("alpha")
+	})
+	k.ScheduleFunc(200*time.Millisecond, func(time.Duration) {
+		reps[3].Submit("beta")
+	})
+	k.Run(time.Second)
+	fmt.Println("p1 log:", reps[1].AppliedValues())
+	fmt.Println("p3 log:", reps[3].AppliedValues())
+	// Output:
+	// p1 log: [alpha beta]
+	// p3 log: [alpha beta]
+}

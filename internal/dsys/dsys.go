@@ -1,0 +1,122 @@
+// Package dsys defines the abstract distributed-system model that every
+// algorithm in this repository is written against: a finite, totally ordered
+// set of processes Π = {p1, ..., pn} that communicate only by sending and
+// receiving messages, may fail by crashing (permanently), and have access to
+// local clocks and randomness.
+//
+// Algorithms are expressed as one or more tasks per process (the paper's
+// "Task 1", "Task 2", ... style). A task is an ordinary Go function that
+// blocks in Recv/Sleep primitives of its Proc handle. Two runtimes implement
+// Proc: the deterministic discrete-event simulator (package sim) and the
+// real-time goroutine runtime (package live).
+package dsys
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ProcessID identifies a process. Processes are numbered 1..n, matching the
+// total order p1, ..., pn assumed by the paper's system model. The zero value
+// is not a valid process.
+type ProcessID int
+
+// None is the absence of a process (e.g. "no trusted process yet").
+const None ProcessID = 0
+
+// String implements fmt.Stringer.
+func (p ProcessID) String() string {
+	if p == None {
+		return "p?"
+	}
+	return fmt.Sprintf("p%d", int(p))
+}
+
+// Message is a single point-to-point message. Kind is a short label used for
+// routing predicates and for per-kind accounting in the trace collector;
+// Payload carries the algorithm-specific body.
+type Message struct {
+	From    ProcessID
+	To      ProcessID
+	Kind    string
+	Payload any
+	// SentAt is the sender's local time at Send, filled in by the runtime.
+	SentAt time.Duration
+}
+
+// MatchFunc selects messages from a process's receive buffer. It must be a
+// pure function of the message (no side effects): runtimes may call it
+// speculatively against buffered or newly arrived messages.
+type MatchFunc func(*Message) bool
+
+// MatchKind returns a MatchFunc accepting any message of the given kind.
+func MatchKind(kind string) MatchFunc {
+	return func(m *Message) bool { return m.Kind == kind }
+}
+
+// MatchAny accepts every message.
+func MatchAny(*Message) bool { return true }
+
+// TaskFunc is the body of a task. It runs until it returns, the process
+// crashes, or the run is stopped; in the latter two cases the runtime unwinds
+// the task from inside a blocking primitive.
+type TaskFunc func(Proc)
+
+// Proc is a task's handle to its process and to the system. All methods are
+// safe to call from the owning task; under the simulator, tasks of one
+// process additionally never run concurrently, while under the live runtime
+// tasks are ordinary goroutines (shared algorithm state therefore must be
+// protected by locks, which is cheap and uncontended under the simulator).
+type Proc interface {
+	// ID returns the identity of the process this task belongs to.
+	ID() ProcessID
+	// N returns the total number of processes in the system.
+	N() int
+	// All returns the process identities 1..n in order. Callers must not
+	// modify the returned slice.
+	All() []ProcessID
+	// Now returns the process-local time (virtual under the simulator,
+	// monotonic wall clock under the live runtime) since the run started.
+	Now() time.Duration
+	// Rand returns the process-local deterministic random source.
+	Rand() *rand.Rand
+	// Send sends a message. Sending to the process itself is allowed and
+	// delivers through the ordinary receive path (with zero link delay under
+	// the simulator). Send never blocks.
+	Send(to ProcessID, kind string, payload any)
+	// Recv blocks until a buffered or arriving message satisfies match,
+	// removes it from the buffer and returns it. The returned flag is false
+	// only when the task is being unwound (crash or stop); in that case the
+	// runtime unwinds the task before the caller can observe it, so callers
+	// may ignore the flag.
+	Recv(match MatchFunc) (*Message, bool)
+	// RecvTimeout is Recv with a deadline d from now. It returns ok=false
+	// with a nil message if the deadline elapses first.
+	RecvTimeout(match MatchFunc, d time.Duration) (*Message, bool)
+	// Sleep suspends the task for d.
+	Sleep(d time.Duration)
+	// Spawn starts a new task of the same process. Spawned tasks are
+	// unwound together with the process.
+	Spawn(name string, fn TaskFunc)
+	// Logf records a debug log line tagged with the process and time.
+	Logf(format string, args ...any)
+}
+
+// Majority returns the size of a strict majority of n processes,
+// ⌊n/2⌋ + 1 = ⌈(n+1)/2⌉, the quorum used throughout the consensus
+// algorithms (the paper assumes f < n/2 correct-majority).
+func Majority(n int) int { return n/2 + 1 }
+
+// MaxFaulty returns the largest f with f < n/2, the maximum number of crash
+// failures tolerated by the consensus algorithms.
+func MaxFaulty(n int) int { return (n - 1) / 2 }
+
+// Pids returns the identity slice 1..n.
+func Pids(n int) []ProcessID {
+	ps := make([]ProcessID, n)
+	for i := range ps {
+		ps[i] = ProcessID(i + 1)
+	}
+	return ps
+}

@@ -1,0 +1,57 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment functions are exercised end to end in quick mode; each test
+// asserts the paper's qualitative shape reproduced (the error channel) and
+// that the table rendered.
+
+func runExp(t *testing.T, name string, fn func(bool) (*Table, error)) *Table {
+	t.Helper()
+	tb, err := fn(true)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, tb.ID) || len(tb.Rows) == 0 {
+		t.Fatalf("%s: table did not render properly:\n%s", name, out)
+	}
+	t.Logf("\n%s", out)
+	return tb
+}
+
+func TestE1(t *testing.T)  { runExp(t, "E1", E1ClassProperties) }
+func TestE2(t *testing.T)  { runExp(t, "E2", E2TransformCorrectness) }
+func TestE3(t *testing.T)  { runExp(t, "E3", E3MessagesPerPeriod) }
+func TestE4(t *testing.T)  { runExp(t, "E4", E4DetectionLatency) }
+func TestE5(t *testing.T)  { runExp(t, "E5", E5RoundCosts) }
+func TestE6(t *testing.T)  { runExp(t, "E6", E6RoundsAfterStability) }
+func TestE7(t *testing.T)  { runExp(t, "E7", E7NackTolerance) }
+func TestE8(t *testing.T)  { runExp(t, "E8", E8MergedPhaseTradeoff) }
+func TestE9(t *testing.T)  { runExp(t, "E9", E9AllSelfTrust) }
+func TestE10(t *testing.T) { runExp(t, "E10", E10ConsensusSoak) }
+func TestE11(t *testing.T) { runExp(t, "E11", E11StabilityWindow) }
+func TestE12(t *testing.T) { runExp(t, "E12", E12DetectorQoS) }
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{
+		ID: "EX", Title: "demo", Claim: "c",
+		Columns: []string{"a", "longcolumn"},
+	}
+	tb.AddRow(1, "x")
+	tb.AddRow("wider-cell", 2)
+	tb.Notes = append(tb.Notes, "a note")
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"EX — demo", "paper: c", "longcolumn", "wider-cell", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}

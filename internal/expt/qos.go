@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd/amplify"
+	"repro/internal/fd/fdlab"
+	"repro/internal/fd/fdtest"
+	"repro/internal/fd/heartbeat"
+	"repro/internal/fd/neighbor"
+	"repro/internal/fd/ring"
+	"repro/internal/fd/transform"
+	"repro/internal/network"
+)
+
+// E12DetectorQoS is a supplementary experiment (no direct paper table): the
+// quality-of-service profile — detection latency, false-suspicion episodes
+// and their durations, à la Chen–Toueg–Aguilera — of every ◇P-capable stack
+// in the repository, under identical pre-GST chaos and crash schedule. It
+// quantifies the trade-off behind the paper's Section 4 cost argument: the
+// cheap leader-centric transformation buys its 2(n−1) messages with
+// detection latency close to the n²-message heartbeat detector, while the
+// ring's list propagation pays in latency.
+func E12DetectorQoS(quick bool) (*Table, error) {
+	t := &Table{
+		ID:      "E12",
+		Title:   "Detector quality of service under pre-GST chaos (supplementary; n=8, crash after GST)",
+		Claim:   "supplement to Sections 3–4: cost vs detection-speed vs mistake profile of each ◇P-capable stack",
+		Columns: []string{"detector", "msgs/period", "worst detection", "avg detection", "mistakes", "avg mistake dur"},
+	}
+	n := 8
+	gst := 300 * time.Millisecond
+	crashAt := 700 * time.Millisecond
+	runFor := 3 * time.Second
+	if quick {
+		runFor = 2 * time.Second
+	}
+	net := network.PartiallySynchronous{
+		GST:    gst,
+		Delta:  10 * time.Millisecond,
+		PreGST: network.Uniform{Min: 0, Max: 60 * time.Millisecond},
+	}
+	period := 10 * time.Millisecond
+	rows := []struct {
+		name  string
+		perT  int
+		build func(p dsys.Proc) any
+	}{
+		{"heartbeat ◇P", n * (n - 1), func(p dsys.Proc) any {
+			return heartbeat.Start(p, heartbeat.Options{Period: period})
+		}},
+		{"ring ◇C", n, func(p dsys.Proc) any {
+			return ring.Start(p, ring.Options{Period: period})
+		}},
+		{"transform over scripted ◇C", 2 * (n - 1), func(p dsys.Proc) any {
+			return transform.Start(p, fdtest.NewScripted(1), transform.Options{Period: period})
+		}},
+		{"amplified neighbor ◇Q→◇P", n + n*(n-1), func(p dsys.Proc) any {
+			nb := neighbor.Start(p, neighbor.Options{Period: period})
+			return amplify.Start(p, nb, amplify.Options{Period: period})
+		}},
+	}
+	var err error
+	for i, r := range rows {
+		res := fdlab.Run(fdlab.Setup{
+			N:           n,
+			Seed:        int64(1200 + i),
+			Net:         net,
+			Crashes:     map[dsys.ProcessID]time.Duration{dsys.ProcessID(n / 2): crashAt},
+			Build:       r.build,
+			RunFor:      runFor,
+			SampleEvery: 2 * time.Millisecond,
+		})
+		q := res.Trace.QoS()
+		worst, avg := "-", "-"
+		if q.WorstDetection >= 0 {
+			worst, avg = msd(q.WorstDetection), msd(q.AvgDetection)
+		}
+		t.AddRow(r.name, r.perT, worst, avg, q.Mistakes, msd(q.AvgMistakeDuration))
+		if err == nil {
+			err = checkf(q.WorstDetection >= 0, "E12", "%s never detected the crash", r.name)
+		}
+	}
+	t.Notes = append(t.Notes, "msgs/period is the steady-state formula from E3; mistakes stem from the chaotic pre-GST phase and must all be retracted (eventual accuracy)")
+	return t, err
+}

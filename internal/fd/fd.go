@@ -1,0 +1,167 @@
+// Package fd defines the unreliable-failure-detector abstractions of the
+// paper (Section 2): the classical suspect-set query of the Chandra–Toueg
+// classes, the trusted-process query of Ω, and their combination — the
+// paper's new class ◇C (Eventually Consistent).
+//
+// The classes are characterized by which properties the returned values
+// satisfy over a run:
+//
+//   - Strong completeness: eventually every crashed process is permanently
+//     suspected by every correct process.
+//   - Weak completeness: eventually every crashed process is permanently
+//     suspected by some correct process.
+//   - Eventual strong accuracy: there is a time after which no correct
+//     process is suspected by any correct process.
+//   - Eventual weak accuracy: there is a time after which some correct
+//     process is never suspected by any correct process.
+//   - Ω property (Property 1): there is a time after which every correct
+//     process permanently trusts the same correct process.
+//
+// ◇P = strong completeness + eventual strong accuracy; ◇S = strong
+// completeness + eventual weak accuracy; and ◇C (Definition 1) = the ◇S
+// properties on Suspected, the Ω property on Trusted, plus: there is a time
+// after which the trusted process is not suspected.
+//
+// The properties themselves are *verified over traces* by package check;
+// this package only defines the query interfaces and the Set type.
+package fd
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/dsys"
+)
+
+// Set is a set of processes, used for suspect lists.
+type Set map[dsys.ProcessID]bool
+
+// NewSet builds a Set from the given processes.
+func NewSet(ids ...dsys.ProcessID) Set {
+	s := make(Set, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// Has reports membership.
+func (s Set) Has(id dsys.ProcessID) bool { return s[id] }
+
+// Add inserts id.
+func (s Set) Add(id dsys.ProcessID) { s[id] = true }
+
+// Remove deletes id.
+func (s Set) Remove(id dsys.ProcessID) { delete(s, id) }
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for id, v := range s {
+		if v {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// Len returns the number of members.
+func (s Set) Len() int {
+	n := 0
+	for _, v := range s {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Members returns the members in increasing process order.
+func (s Set) Members() []dsys.ProcessID {
+	out := make([]dsys.ProcessID, 0, len(s))
+	for id, v := range s {
+		if v {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether two sets have the same members.
+func (s Set) Equal(o Set) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for id, v := range s {
+		if v && !o[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set like "{p2 p5}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range s.Members() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(id.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Suspector is the classical failure-detector query: D.suspected_p, the set
+// of processes the detector module at p currently believes to have crashed.
+// Implementations return a private snapshot the caller may keep or modify.
+type Suspector interface {
+	Suspected() Set
+}
+
+// LeaderOracle is the Ω query: D.trusted_p, the single process the module at
+// p currently believes to be correct. It returns dsys.None only before the
+// module has produced its first estimate.
+type LeaderOracle interface {
+	Trusted() dsys.ProcessID
+}
+
+// EventuallyConsistent is the query interface of the paper's class ◇C
+// (Definition 1): both a suspect set with the ◇S properties and a trusted
+// process with the Ω property, with the trusted process eventually not
+// suspected.
+type EventuallyConsistent interface {
+	Suspector
+	LeaderOracle
+}
+
+// Beacon is implemented by detectors whose (believed) leader periodically
+// broadcasts to all other processes. It lets other layers piggyback payloads
+// on those broadcasts — the optimization of Section 4 that halves the
+// message cost of the ◇C → ◇P transformation.
+type Beacon interface {
+	// SetBeaconPayload registers fn; its result is attached to every
+	// periodic leader broadcast this module sends while it believes itself
+	// leader. Only one payload source may be registered.
+	SetBeaconPayload(fn func() any)
+	// OnBeacon registers a handler invoked (on the module's task) for every
+	// leader broadcast received, with the sender and attached payload.
+	OnBeacon(fn func(from dsys.ProcessID, payload any))
+}
+
+// FirstNonSuspected returns the first process in the order p1 < p2 < ... pn
+// that is not in s, or dsys.None if all n are suspected. It is the
+// leader-extraction rule the paper uses to build ◇C on top of ◇P (Section
+// 3): with eventually identical suspect sets, all correct processes
+// eventually agree on this choice.
+func FirstNonSuspected(s Set, n int) dsys.ProcessID {
+	for i := 1; i <= n; i++ {
+		if !s[dsys.ProcessID(i)] {
+			return dsys.ProcessID(i)
+		}
+	}
+	return dsys.None
+}

@@ -1,0 +1,208 @@
+package fd_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsys"
+	"repro/internal/fd"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := fd.NewSet(3, 1)
+	if !s.Has(1) || !s.Has(3) || s.Has(2) {
+		t.Error("membership wrong")
+	}
+	s.Add(2)
+	s.Remove(3)
+	if got := s.String(); got != "{p1 p2}" {
+		t.Errorf("String() = %q", got)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len() = %d", s.Len())
+	}
+	if got := s.Members(); !reflect.DeepEqual(got, []dsys.ProcessID{1, 2}) {
+		t.Errorf("Members() = %v", got)
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	cases := []struct {
+		a, b fd.Set
+		want bool
+	}{
+		{fd.NewSet(), fd.NewSet(), true},
+		{fd.NewSet(1, 2), fd.NewSet(2, 1), true},
+		{fd.NewSet(1), fd.NewSet(2), false},
+		{fd.NewSet(1, 2), fd.NewSet(1), false},
+		{fd.Set{1: true, 2: false}, fd.NewSet(1), true}, // false entries are non-members
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: Equal = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestEmptySetString(t *testing.T) {
+	if got := fd.NewSet().String(); got != "{}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestFirstNonSuspected(t *testing.T) {
+	cases := []struct {
+		susp []dsys.ProcessID
+		n    int
+		want dsys.ProcessID
+	}{
+		{nil, 5, 1},
+		{[]dsys.ProcessID{1}, 5, 2},
+		{[]dsys.ProcessID{1, 2, 3, 4}, 5, 5},
+		{[]dsys.ProcessID{1, 2, 3, 4, 5}, 5, dsys.None},
+		{[]dsys.ProcessID{2, 4}, 5, 1},
+	}
+	for i, c := range cases {
+		if got := fd.FirstNonSuspected(fd.NewSet(c.susp...), c.n); got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// genSet builds a random set over processes 1..n.
+func genSet(r *rand.Rand, n int) fd.Set {
+	s := fd.Set{}
+	for i := 1; i <= n; i++ {
+		if r.Intn(2) == 0 {
+			s.Add(dsys.ProcessID(i))
+		}
+	}
+	return s
+}
+
+func TestQuickCloneIsEqualAndIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := genSet(r, 10)
+		c := s.Clone()
+		if !s.Equal(c) {
+			return false
+		}
+		c.Add(11)
+		return !s.Has(11)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMembersSortedAndConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := genSet(r, 16)
+		ms := s.Members()
+		if len(ms) != s.Len() {
+			return false
+		}
+		for i, m := range ms {
+			if !s.Has(m) {
+				return false
+			}
+			if i > 0 && ms[i-1] >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFirstNonSuspectedIsMinimalNonMember(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		s := genSet(r, n)
+		got := fd.FirstNonSuspected(s, n)
+		if got == dsys.None {
+			return s.Len() == n
+		}
+		if s.Has(got) {
+			return false
+		}
+		for q := dsys.ProcessID(1); q < got; q++ {
+			if !s.Has(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualIsEquivalenceOnRandomSets(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genSet(r, 8), genSet(r, 8)
+		// Symmetry, reflexivity.
+		if !a.Equal(a) || a.Equal(b) != b.Equal(a) {
+			return false
+		}
+		// Equal sets have identical Members.
+		if a.Equal(b) {
+			return reflect.DeepEqual(a.Members(), b.Members())
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchKind(t *testing.T) {
+	m := &dsys.Message{Kind: "x"}
+	if !dsys.MatchKind("x")(m) || dsys.MatchKind("y")(m) {
+		t.Error("MatchKind wrong")
+	}
+	if !dsys.MatchAny(m) {
+		t.Error("MatchAny wrong")
+	}
+}
+
+func TestMajorityAndMaxFaulty(t *testing.T) {
+	cases := []struct{ n, maj, f int }{
+		{1, 1, 0}, {2, 2, 0}, {3, 2, 1}, {4, 3, 1}, {5, 3, 2}, {6, 4, 2}, {7, 4, 3},
+	}
+	for _, c := range cases {
+		if got := dsys.Majority(c.n); got != c.maj {
+			t.Errorf("Majority(%d) = %d, want %d", c.n, got, c.maj)
+		}
+		if got := dsys.MaxFaulty(c.n); got != c.f {
+			t.Errorf("MaxFaulty(%d) = %d, want %d", c.n, got, c.f)
+		}
+		// f < n/2 always, and majority of n needs more than half.
+		if 2*dsys.MaxFaulty(c.n) >= c.n {
+			t.Errorf("MaxFaulty(%d) not a strict minority", c.n)
+		}
+		if 2*dsys.Majority(c.n) <= c.n {
+			t.Errorf("Majority(%d) not a strict majority", c.n)
+		}
+	}
+}
+
+func TestProcessIDString(t *testing.T) {
+	if dsys.ProcessID(3).String() != "p3" || dsys.None.String() != "p?" {
+		t.Error("ProcessID.String wrong")
+	}
+}
+
+func TestPids(t *testing.T) {
+	if got := dsys.Pids(3); !reflect.DeepEqual(got, []dsys.ProcessID{1, 2, 3}) {
+		t.Errorf("Pids(3) = %v", got)
+	}
+}

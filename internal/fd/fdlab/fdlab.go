@@ -1,0 +1,83 @@
+// Package fdlab is the shared scaffolding for failure-detector experiments
+// and integration tests: it wires n simulated processes, attaches one
+// detector module per process, injects crashes, samples every module's
+// output, and returns the recorded trace for property evaluation.
+package fdlab
+
+import (
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/dsys"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Setup describes one detector run.
+type Setup struct {
+	// N is the number of processes.
+	N int
+	// Seed drives all randomness.
+	Seed int64
+	// Net is the link model. Required.
+	Net network.Network
+	// Crashes maps processes to their crash times.
+	Crashes map[dsys.ProcessID]time.Duration
+	// Build constructs the detector module of one process (spawning its
+	// tasks on p) and returns it; the module is probed through
+	// check.ProbeOf, so it may implement either or both query interfaces.
+	Build func(p dsys.Proc) any
+	// SampleEvery is the probe period (default 5ms).
+	SampleEvery time.Duration
+	// RunFor is the virtual duration of the run (default 2s).
+	RunFor time.Duration
+}
+
+// Result is a completed detector run.
+type Result struct {
+	Trace    check.FDTrace
+	Messages *trace.Collector
+	End      time.Duration
+	// Modules holds each process's detector handle, for stats queries.
+	Modules map[dsys.ProcessID]any
+}
+
+// Run executes the setup and returns the recorded trace.
+func Run(s Setup) Result {
+	if s.SampleEvery <= 0 {
+		s.SampleEvery = 5 * time.Millisecond
+	}
+	if s.RunFor <= 0 {
+		s.RunFor = 2 * time.Second
+	}
+	col := trace.NewCollector()
+	k := sim.New(sim.Config{N: s.N, Network: s.Net, Seed: s.Seed, Trace: col})
+	rec := check.NewFDRecorder(s.N)
+	modules := make(map[dsys.ProcessID]any, s.N)
+	for _, id := range dsys.Pids(s.N) {
+		id := id
+		k.Spawn(id, "fd-setup", func(p dsys.Proc) {
+			m := s.Build(p)
+			modules[id] = m
+			rec.SetProbe(id, check.ProbeOf(m))
+		})
+	}
+	for id, at := range s.Crashes {
+		k.CrashAt(id, at)
+	}
+	rec.Attach(k, s.SampleEvery, s.SampleEvery)
+	end := k.Run(s.RunFor)
+	return Result{
+		Trace:    check.FDTrace{N: s.N, Rec: rec, Crashed: col.Crashed()},
+		Messages: col,
+		End:      end,
+		Modules:  modules,
+	}
+}
+
+// PartialSync is a convenient default network: partially synchronous with
+// the given GST and Δ.
+func PartialSync(gst, delta time.Duration) network.Network {
+	return network.PartiallySynchronous{GST: gst, Delta: delta}
+}

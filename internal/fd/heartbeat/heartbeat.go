@@ -1,0 +1,235 @@
+// Package heartbeat implements the classical all-to-all heartbeat failure
+// detector: every process periodically sends I-AM-ALIVE to every other
+// process and suspects any process whose heartbeats stop arriving within an
+// adaptive per-process timeout.
+//
+// In the partial-synchrony model of Section 4 (GST + unknown bound Δ) this
+// is the Chandra–Toueg style implementation of class ◇P: crashed processes
+// stop sending and are eventually permanently suspected by everyone (strong
+// completeness), and every false suspicion of a correct process increases
+// the timeout for it, so after GST each correct process is falsely suspected
+// at most a bounded number of times (eventual strong accuracy).
+//
+// Cost: n·(n−1) ≈ n² messages per heartbeat period — the figure the paper
+// compares its ◇C→◇P transformation against in Section 4.
+package heartbeat
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd"
+)
+
+// KindAlive is the message kind of heartbeats.
+const KindAlive = "hb.alive"
+
+// TimeoutPolicy selects how per-process timeouts adapt.
+type TimeoutPolicy int
+
+const (
+	// PolicyAdditive is the paper-style policy: the timeout for q grows by
+	// TimeoutIncrement each time a false suspicion of q is retracted. It
+	// adapts monotonically, which is what the eventual-accuracy proofs use,
+	// but it never tightens: after pre-GST chaos the timeout stays inflated
+	// and detection is slow forever.
+	PolicyAdditive TimeoutPolicy = iota
+	// PolicyJacobson estimates each sender's heartbeat inter-arrival time
+	// with the smoothed mean/deviation filter of TCP's RTO computation
+	// (Jacobson/Karels): timeout = srtt + 4·rttvar + Period. It tracks the
+	// link's actual behaviour, tightening again after chaos subsides, at
+	// the cost of the clean adversarial eventual-accuracy argument (a
+	// sufficiently erratic post-GST link could keep causing mistakes; on
+	// bounded-jitter links it converges). On a retracted false suspicion it
+	// additionally folds the observed gap into the estimate, so repeated
+	// mistakes still push the timeout up.
+	PolicyJacobson
+)
+
+// Options configures the detector. Zero fields take defaults.
+type Options struct {
+	// Period η between heartbeats. Default 10ms.
+	Period time.Duration
+	// InitialTimeout is the starting value of every per-process timeout.
+	// Default 3·Period.
+	InitialTimeout time.Duration
+	// TimeoutIncrement is added to a process's timeout each time a false
+	// suspicion of it is corrected (PolicyAdditive). Default 2·Period.
+	TimeoutIncrement time.Duration
+	// CheckInterval is how often expiries are evaluated. Default Period/2.
+	CheckInterval time.Duration
+	// Adaptive disables timeout growth when false — the ablation of
+	// EXPERIMENTS.md showing eventual accuracy fail for timeouts below Δ.
+	// Default true (set via New; the zero Options means adaptive).
+	FixedTimeout bool
+	// Policy selects the adaptation scheme (default PolicyAdditive).
+	// Ignored when FixedTimeout is set.
+	Policy TimeoutPolicy
+}
+
+func (o *Options) fill() {
+	if o.Period <= 0 {
+		o.Period = 10 * time.Millisecond
+	}
+	if o.InitialTimeout <= 0 {
+		o.InitialTimeout = 3 * o.Period
+	}
+	if o.TimeoutIncrement <= 0 {
+		o.TimeoutIncrement = 2 * o.Period
+	}
+	if o.CheckInterval <= 0 {
+		o.CheckInterval = o.Period / 2
+	}
+}
+
+// Detector is a heartbeat ◇P module attached to one process. It implements
+// fd.Suspector (and, composed with fd.FirstNonSuspected, yields ◇C — see
+// package ec).
+type Detector struct {
+	opt  Options
+	self dsys.ProcessID
+	n    int
+
+	mu        sync.Mutex
+	suspected fd.Set
+	lastHeard map[dsys.ProcessID]time.Duration
+	timeout   map[dsys.ProcessID]time.Duration
+	// Jacobson estimator state (PolicyJacobson): smoothed inter-arrival
+	// mean and deviation per sender.
+	srtt   map[dsys.ProcessID]time.Duration
+	rttvar map[dsys.ProcessID]time.Duration
+
+	falseSusp int
+}
+
+var _ fd.Suspector = (*Detector)(nil)
+
+// Start attaches a heartbeat detector to p's process and spawns its tasks.
+func Start(p dsys.Proc, opt Options) *Detector {
+	opt.fill()
+	d := &Detector{
+		opt:       opt,
+		self:      p.ID(),
+		n:         p.N(),
+		suspected: fd.Set{},
+		lastHeard: make(map[dsys.ProcessID]time.Duration, p.N()),
+		timeout:   make(map[dsys.ProcessID]time.Duration, p.N()),
+		srtt:      make(map[dsys.ProcessID]time.Duration, p.N()),
+		rttvar:    make(map[dsys.ProcessID]time.Duration, p.N()),
+	}
+	now := p.Now()
+	for _, q := range p.All() {
+		if q != d.self {
+			d.lastHeard[q] = now
+			d.timeout[q] = opt.InitialTimeout
+		}
+	}
+	p.Spawn("hb-send", d.sendTask)
+	p.Spawn("hb-recv", d.recvTask)
+	p.Spawn("hb-check", d.checkTask)
+	return d
+}
+
+// Suspected implements fd.Suspector.
+func (d *Detector) Suspected() fd.Set {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suspected.Clone()
+}
+
+// FalseSuspicions returns how many suspicions were retracted because a
+// heartbeat from the suspect arrived later.
+func (d *Detector) FalseSuspicions() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.falseSusp
+}
+
+// Timeout returns the current adaptive timeout for q.
+func (d *Detector) Timeout(q dsys.ProcessID) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.timeout[q]
+}
+
+func (d *Detector) sendTask(p dsys.Proc) {
+	for {
+		for _, q := range p.All() {
+			if q != d.self {
+				p.Send(q, KindAlive, nil)
+			}
+		}
+		p.Sleep(d.opt.Period)
+	}
+}
+
+func (d *Detector) recvTask(p dsys.Proc) {
+	for {
+		m, ok := p.Recv(dsys.MatchKind(KindAlive))
+		if !ok {
+			return
+		}
+		d.mu.Lock()
+		now := p.Now()
+		gap := now - d.lastHeard[m.From]
+		d.lastHeard[m.From] = now
+		wasSuspected := d.suspected.Has(m.From)
+		if wasSuspected {
+			d.suspected.Remove(m.From)
+			d.falseSusp++
+		}
+		if !d.opt.FixedTimeout {
+			switch d.opt.Policy {
+			case PolicyAdditive:
+				if wasSuspected {
+					d.timeout[m.From] += d.opt.TimeoutIncrement
+				}
+			case PolicyJacobson:
+				d.observeGapLocked(m.From, gap)
+			}
+		}
+		d.mu.Unlock()
+	}
+}
+
+// observeGapLocked folds one inter-arrival gap into the Jacobson estimator
+// and recomputes the timeout: srtt + 4·rttvar + Period.
+func (d *Detector) observeGapLocked(q dsys.ProcessID, gap time.Duration) {
+	if gap <= 0 {
+		return
+	}
+	if d.srtt[q] == 0 {
+		d.srtt[q] = gap
+		d.rttvar[q] = gap / 2
+	} else {
+		diff := gap - d.srtt[q]
+		if diff < 0 {
+			diff = -diff
+		}
+		d.rttvar[q] += (diff - d.rttvar[q]) / 4
+		d.srtt[q] += (gap - d.srtt[q]) / 8
+	}
+	to := d.srtt[q] + 4*d.rttvar[q] + d.opt.Period
+	if to < d.opt.Period {
+		to = d.opt.Period
+	}
+	d.timeout[q] = to
+}
+
+func (d *Detector) checkTask(p dsys.Proc) {
+	for {
+		p.Sleep(d.opt.CheckInterval)
+		now := p.Now()
+		d.mu.Lock()
+		for _, q := range p.All() {
+			if q == d.self || d.suspected.Has(q) {
+				continue
+			}
+			if now-d.lastHeard[q] > d.timeout[q] {
+				d.suspected.Add(q)
+			}
+		}
+		d.mu.Unlock()
+	}
+}

@@ -1,0 +1,86 @@
+package heartbeat_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd/fdlab"
+	"repro/internal/fd/heartbeat"
+	"repro/internal/network"
+)
+
+func TestJacobsonPolicyIsEventuallyPerfect(t *testing.T) {
+	res := fdlab.Run(fdlab.Setup{
+		N:    5,
+		Seed: 20,
+		Net:  fdlab.PartialSync(150*time.Millisecond, 12*time.Millisecond),
+		Crashes: map[dsys.ProcessID]time.Duration{
+			2: 400 * time.Millisecond,
+		},
+		Build: func(p dsys.Proc) any {
+			return heartbeat.Start(p, heartbeat.Options{Policy: heartbeat.PolicyJacobson})
+		},
+		RunFor: 3 * time.Second,
+	})
+	if v := res.Trace.EventuallyPerfect(); !v.Holds {
+		t.Fatal("Jacobson-policy heartbeat detector is not ◇P on a bounded-jitter link")
+	}
+}
+
+func TestJacobsonTracksJitter(t *testing.T) {
+	// Post-GST jitter between 1ms and 9ms at a 10ms period: gaps vary in
+	// [2ms, 18ms]. Jacobson's timeout should settle near srtt+4var+period —
+	// well under the additive policy's ceiling once that policy has
+	// suffered a few false suspicions.
+	net := network.PartiallySynchronous{GST: 0, Delta: 9 * time.Millisecond, Jitter: network.Uniform{Min: time.Millisecond, Max: 9 * time.Millisecond}}
+	res := fdlab.Run(fdlab.Setup{
+		N:    3,
+		Seed: 21,
+		Net:  net,
+		Build: func(p dsys.Proc) any {
+			return heartbeat.Start(p, heartbeat.Options{Policy: heartbeat.PolicyJacobson})
+		},
+		RunFor: 2 * time.Second,
+	})
+	d := res.Modules[dsys.ProcessID(1)].(*heartbeat.Detector)
+	to := d.Timeout(2)
+	if to <= 10*time.Millisecond || to > 80*time.Millisecond {
+		t.Errorf("Jacobson timeout settled at %v; expected a moderate multiple of the 10ms period", to)
+	}
+}
+
+func TestJacobsonRecoversTightTimeoutsAfterChaos(t *testing.T) {
+	// The additive policy's timeouts only ever grow; after heavy pre-GST
+	// chaos they stay inflated. Jacobson tightens once gaps become regular,
+	// so its post-chaos crash detection is faster.
+	chaosNet := network.PartiallySynchronous{
+		GST:    500 * time.Millisecond,
+		Delta:  5 * time.Millisecond,
+		PreGST: network.Uniform{Min: 0, Max: 120 * time.Millisecond},
+	}
+	detectionLatency := func(policy heartbeat.TimeoutPolicy) time.Duration {
+		crashAt := 1500 * time.Millisecond
+		res := fdlab.Run(fdlab.Setup{
+			N:       4,
+			Seed:    22,
+			Net:     chaosNet,
+			Crashes: map[dsys.ProcessID]time.Duration{3: crashAt},
+			Build: func(p dsys.Proc) any {
+				return heartbeat.Start(p, heartbeat.Options{Policy: policy})
+			},
+			RunFor:      4 * time.Second,
+			SampleEvery: 2 * time.Millisecond,
+		})
+		if v := res.Trace.EventuallyPerfect(); !v.Holds {
+			t.Fatalf("policy %v lost ◇P", policy)
+		}
+		q := res.Trace.QoS()
+		return q.WorstDetection
+	}
+	additive := detectionLatency(heartbeat.PolicyAdditive)
+	jacobson := detectionLatency(heartbeat.PolicyJacobson)
+	if jacobson >= additive {
+		t.Errorf("Jacobson detection %v not faster than additive %v after chaos", jacobson, additive)
+	}
+}

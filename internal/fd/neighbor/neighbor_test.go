@@ -1,0 +1,155 @@
+package neighbor_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd/amplify"
+	"repro/internal/fd/fdlab"
+	"repro/internal/fd/neighbor"
+	"repro/internal/network"
+)
+
+func TestIsEventuallyQuasiPerfect(t *testing.T) {
+	// ◇Q: weak completeness + eventual strong accuracy — but NOT strong
+	// completeness. With p2 crashed, only p3 (its nearest correct
+	// successor) should end up suspecting it.
+	res := fdlab.Run(fdlab.Setup{
+		N:    6,
+		Seed: 1,
+		Net:  fdlab.PartialSync(100*time.Millisecond, 10*time.Millisecond),
+		Crashes: map[dsys.ProcessID]time.Duration{
+			2: 300 * time.Millisecond,
+		},
+		Build:  func(p dsys.Proc) any { return neighbor.Start(p, neighbor.Options{}) },
+		RunFor: 3 * time.Second,
+	})
+	if v := res.Trace.WeakCompleteness(); !v.Holds {
+		t.Error("weak completeness violated")
+	}
+	if v := res.Trace.EventualStrongAccuracy(); !v.Holds {
+		t.Error("eventual strong accuracy violated")
+	}
+	if v := res.Trace.StrongCompleteness(); v.Holds {
+		t.Error("strong completeness unexpectedly holds — the detector is sharing information it should not have")
+	}
+	// The watcher is exactly the nearest correct successor.
+	for _, p := range res.Trace.CorrectIDs() {
+		ss := res.Trace.Rec.Samples(p)
+		last := ss[len(ss)-1]
+		if p == 3 && !last.Suspected.Has(2) {
+			t.Error("p3 (nearest successor) does not suspect the crashed p2")
+		}
+		if p != 3 && last.Suspected.Has(2) {
+			t.Errorf("%v suspects p2 without having monitored it", p)
+		}
+	}
+}
+
+func TestAdjacentCrashesStillWeaklyComplete(t *testing.T) {
+	// p2 and p3 crash: p4 must walk back across both and suspect both —
+	// weak completeness needs a watcher for every crashed process.
+	res := fdlab.Run(fdlab.Setup{
+		N:    6,
+		Seed: 2,
+		Net:  fdlab.PartialSync(0, 10*time.Millisecond),
+		Crashes: map[dsys.ProcessID]time.Duration{
+			2: 200 * time.Millisecond,
+			3: 220 * time.Millisecond,
+		},
+		Build:  func(p dsys.Proc) any { return neighbor.Start(p, neighbor.Options{}) },
+		RunFor: 3 * time.Second,
+	})
+	if v := res.Trace.WeakCompleteness(); !v.Holds {
+		t.Fatal("weak completeness violated with adjacent crashes")
+	}
+	ss := res.Trace.Rec.Samples(4)
+	last := ss[len(ss)-1]
+	if !last.Suspected.Has(2) || !last.Suspected.Has(3) {
+		t.Errorf("p4's final suspect set %v should contain both crashed neighbors", last.Suspected)
+	}
+}
+
+func TestLinearMessageCost(t *testing.T) {
+	n := 8
+	res := fdlab.Run(fdlab.Setup{
+		N:    n,
+		Seed: 3,
+		Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
+		Build: func(p dsys.Proc) any {
+			return neighbor.Start(p, neighbor.Options{Period: 10 * time.Millisecond})
+		},
+		RunFor: time.Second,
+	})
+	periods := 50
+	beats := res.Messages.SentBetween(400*time.Millisecond, 900*time.Millisecond, neighbor.KindBeat)
+	if beats != periods*n {
+		t.Errorf("%d beats, want %d", beats, periods*n)
+	}
+}
+
+func TestAmplifiedNeighborIsEventuallyPerfect(t *testing.T) {
+	// ◇Q + Chandra–Toueg completeness amplification = ◇P: the scenario of
+	// TestIsEventuallyQuasiPerfect, now with every correct process ending
+	// up suspecting the crashed one.
+	res := fdlab.Run(fdlab.Setup{
+		N:    6,
+		Seed: 4,
+		Net:  fdlab.PartialSync(100*time.Millisecond, 10*time.Millisecond),
+		Crashes: map[dsys.ProcessID]time.Duration{
+			2: 300 * time.Millisecond,
+			5: 500 * time.Millisecond,
+		},
+		Build: func(p dsys.Proc) any {
+			nb := neighbor.Start(p, neighbor.Options{})
+			return amplify.Start(p, nb, amplify.Options{})
+		},
+		RunFor: 4 * time.Second,
+	})
+	if v := res.Trace.EventuallyPerfect(); !v.Holds {
+		t.Fatal("amplified ◇Q is not ◇P")
+	}
+}
+
+func TestAmplifyClearsFalseSuspicionsEverywhere(t *testing.T) {
+	// Pre-GST chaos seeds false suspicions that the amplification spreads;
+	// once the underlying modules retract them, the amplified output must
+	// clear too (accuracy preservation).
+	res := fdlab.Run(fdlab.Setup{
+		N:    5,
+		Seed: 5,
+		Net: network.PartiallySynchronous{
+			GST:    500 * time.Millisecond,
+			Delta:  10 * time.Millisecond,
+			PreGST: network.Uniform{Min: 0, Max: 100 * time.Millisecond},
+		},
+		Build: func(p dsys.Proc) any {
+			nb := neighbor.Start(p, neighbor.Options{})
+			return amplify.Start(p, nb, amplify.Options{})
+		},
+		RunFor: 5 * time.Second,
+	})
+	if v := res.Trace.EventualStrongAccuracy(); !v.Holds {
+		t.Fatal("amplified output never cleared its false suspicions")
+	}
+}
+
+func TestAmplifyQuadraticCost(t *testing.T) {
+	n := 6
+	res := fdlab.Run(fdlab.Setup{
+		N:    n,
+		Seed: 6,
+		Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
+		Build: func(p dsys.Proc) any {
+			nb := neighbor.Start(p, neighbor.Options{Period: 10 * time.Millisecond})
+			return amplify.Start(p, nb, amplify.Options{Period: 10 * time.Millisecond})
+		},
+		RunFor: time.Second,
+	})
+	periods := 50
+	got := res.Messages.SentBetween(400*time.Millisecond, 900*time.Millisecond, amplify.KindSets)
+	if want := periods * n * (n - 1); got != want {
+		t.Errorf("%d amplification messages, want %d (n² per period)", got, want)
+	}
+}

@@ -1,0 +1,193 @@
+package omega_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd/fdlab"
+	"repro/internal/fd/heartbeat"
+	"repro/internal/fd/omega"
+	"repro/internal/fd/ring"
+	"repro/internal/network"
+)
+
+func TestLeaderBeatOmegaProperty(t *testing.T) {
+	res := fdlab.Run(fdlab.Setup{
+		N:    5,
+		Seed: 1,
+		Net:  fdlab.PartialSync(100*time.Millisecond, 10*time.Millisecond),
+		Build: func(p dsys.Proc) any {
+			return omega.StartLeaderBeat(p, omega.Options{})
+		},
+		RunFor: 2 * time.Second,
+	})
+	v := res.Trace.OmegaProperty()
+	if !v.Holds || v.Witness != 1 {
+		t.Fatalf("Ω verdict %+v, want leader p1", v)
+	}
+}
+
+func TestLeaderBeatSurvivesLeaderCrashes(t *testing.T) {
+	res := fdlab.Run(fdlab.Setup{
+		N:    5,
+		Seed: 2,
+		Net:  fdlab.PartialSync(0, 10*time.Millisecond),
+		Crashes: map[dsys.ProcessID]time.Duration{
+			1: 200 * time.Millisecond,
+			2: 600 * time.Millisecond,
+		},
+		Build: func(p dsys.Proc) any {
+			return omega.StartLeaderBeat(p, omega.Options{})
+		},
+		RunFor: 3 * time.Second,
+	})
+	v := res.Trace.OmegaProperty()
+	if !v.Holds || v.Witness != 3 {
+		t.Fatalf("Ω verdict %+v, want leader p3 after p1 and p2 crash", v)
+	}
+}
+
+func TestLeaderBeatLinearCost(t *testing.T) {
+	// Steady state: only the leader broadcasts — exactly n−1 messages per
+	// period in the whole system.
+	for _, n := range []int{4, 8, 16} {
+		res := fdlab.Run(fdlab.Setup{
+			N:    n,
+			Seed: 3,
+			Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
+			Build: func(p dsys.Proc) any {
+				return omega.StartLeaderBeat(p, omega.Options{Period: 10 * time.Millisecond})
+			},
+			RunFor: time.Second,
+		})
+		window := 500 * time.Millisecond
+		periods := int(window / (10 * time.Millisecond))
+		got := res.Messages.SentBetween(400*time.Millisecond, 900*time.Millisecond, omega.KindLeaderBeat)
+		if want := periods * (n - 1); got != want {
+			t.Errorf("n=%d: %d leader beats, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLeaderBeatBeaconCarriesPayload(t *testing.T) {
+	type seen struct {
+		mu   sync.Mutex
+		from map[dsys.ProcessID][]any
+	}
+	s := &seen{from: map[dsys.ProcessID][]any{}}
+	res := fdlab.Run(fdlab.Setup{
+		N:    3,
+		Seed: 4,
+		Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
+		Build: func(p dsys.Proc) any {
+			d := omega.StartLeaderBeat(p, omega.Options{})
+			self := p.ID()
+			d.SetBeaconPayload(func() any { return int(self) * 100 })
+			d.OnBeacon(func(from dsys.ProcessID, payload any) {
+				s.mu.Lock()
+				s.from[from] = append(s.from[from], payload)
+				s.mu.Unlock()
+			})
+			return d
+		},
+		RunFor: 500 * time.Millisecond,
+	})
+	_ = res
+	if len(s.from) == 0 {
+		t.Fatal("no beacons observed")
+	}
+	for from, payloads := range s.from {
+		if from != 1 {
+			t.Errorf("beacons from %v; only the leader p1 should broadcast", from)
+		}
+		for _, pl := range payloads {
+			if pl != 100 {
+				t.Errorf("payload %v, want 100", pl)
+			}
+		}
+	}
+}
+
+func TestFromSuspectorOverHeartbeat(t *testing.T) {
+	res := fdlab.Run(fdlab.Setup{
+		N:    5,
+		Seed: 5,
+		Net:  fdlab.PartialSync(100*time.Millisecond, 10*time.Millisecond),
+		Crashes: map[dsys.ProcessID]time.Duration{
+			1: 300 * time.Millisecond,
+		},
+		Build: func(p dsys.Proc) any {
+			hb := heartbeat.Start(p, heartbeat.Options{})
+			return omega.StartFromSuspector(p, hb, omega.Options{})
+		},
+		RunFor: 3 * time.Second,
+	})
+	v := res.Trace.OmegaProperty()
+	if !v.Holds {
+		t.Fatal("Ω property does not hold for the gossip reduction")
+	}
+	if v.Witness == 1 {
+		t.Error("crashed process elected leader")
+	}
+}
+
+func TestFromSuspectorOverRing(t *testing.T) {
+	// The reduction only needs ◇S input; the ring detector provides it.
+	res := fdlab.Run(fdlab.Setup{
+		N:    4,
+		Seed: 6,
+		Net:  fdlab.PartialSync(50*time.Millisecond, 10*time.Millisecond),
+		Crashes: map[dsys.ProcessID]time.Duration{
+			2: 200 * time.Millisecond,
+		},
+		Build: func(p dsys.Proc) any {
+			r := ring.Start(p, ring.Options{})
+			return omega.StartFromSuspector(p, r, omega.Options{})
+		},
+		RunFor: 3 * time.Second,
+	})
+	v := res.Trace.OmegaProperty()
+	if !v.Holds || v.Witness == 2 {
+		t.Fatalf("Ω verdict %+v", v)
+	}
+}
+
+func TestFromSuspectorQuadraticCost(t *testing.T) {
+	n := 6
+	res := fdlab.Run(fdlab.Setup{
+		N:    n,
+		Seed: 7,
+		Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
+		Build: func(p dsys.Proc) any {
+			hb := heartbeat.Start(p, heartbeat.Options{Period: 10 * time.Millisecond})
+			return omega.StartFromSuspector(p, hb, omega.Options{Period: 10 * time.Millisecond})
+		},
+		RunFor: time.Second,
+	})
+	periods := 50
+	got := res.Messages.SentBetween(400*time.Millisecond, 900*time.Millisecond, omega.KindCounters)
+	if want := periods * n * (n - 1); got != want {
+		t.Errorf("%d counter messages, want %d — the reduction should cost n² per period", got, want)
+	}
+}
+
+func TestLeaderChangesAreCounted(t *testing.T) {
+	res := fdlab.Run(fdlab.Setup{
+		N:    3,
+		Seed: 8,
+		Net:  fdlab.PartialSync(0, 10*time.Millisecond),
+		Crashes: map[dsys.ProcessID]time.Duration{
+			1: 200 * time.Millisecond,
+		},
+		Build: func(p dsys.Proc) any {
+			return omega.StartLeaderBeat(p, omega.Options{})
+		},
+		RunFor: time.Second,
+	})
+	d := res.Modules[dsys.ProcessID(3)].(*omega.LeaderBeat)
+	if d.LeaderChanges() == 0 {
+		t.Error("p3 should have observed at least one leader change after p1 crashed")
+	}
+}

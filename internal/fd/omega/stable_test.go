@@ -1,0 +1,161 @@
+package omega_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd/fdlab"
+	"repro/internal/fd/omega"
+	"repro/internal/network"
+)
+
+func TestStableOmegaProperty(t *testing.T) {
+	res := fdlab.Run(fdlab.Setup{
+		N:    5,
+		Seed: 11,
+		Net:  fdlab.PartialSync(100*time.Millisecond, 10*time.Millisecond),
+		Build: func(p dsys.Proc) any {
+			return omega.StartStable(p, omega.Options{})
+		},
+		RunFor: 3 * time.Second,
+	})
+	v := res.Trace.OmegaProperty()
+	if !v.Holds {
+		t.Fatal("stable Ω does not satisfy the Ω property")
+	}
+}
+
+func TestStableSurvivesLeaderCrashes(t *testing.T) {
+	res := fdlab.Run(fdlab.Setup{
+		N:    5,
+		Seed: 12,
+		Net:  fdlab.PartialSync(0, 10*time.Millisecond),
+		Crashes: map[dsys.ProcessID]time.Duration{
+			1: 200 * time.Millisecond,
+			2: 700 * time.Millisecond,
+		},
+		Build: func(p dsys.Proc) any {
+			return omega.StartStable(p, omega.Options{})
+		},
+		RunFor: 4 * time.Second,
+	})
+	v := res.Trace.OmegaProperty()
+	if !v.Holds {
+		t.Fatal("Ω property lost after leader crashes")
+	}
+	if v.Witness == 1 || v.Witness == 2 {
+		t.Errorf("crashed process %v elected", v.Witness)
+	}
+}
+
+// partitionLeaderNet silences p1's outgoing links during [from, until),
+// simulating a transient leader disconnection that heals.
+func partitionLeaderNet(from, until time.Duration) network.Network {
+	base := network.PartiallySynchronous{GST: 0, Delta: 5 * time.Millisecond}
+	return network.Partitioned{
+		Under:  base,
+		GroupA: map[dsys.ProcessID]bool{1: true},
+		From:   from,
+		Until:  until,
+	}
+}
+
+func TestStableDoesNotRevertAfterTransientSilence(t *testing.T) {
+	// p1 leads, then is partitioned off for 300ms and heals. The stable
+	// module must move to p2 and STAY there; leadership must not flap back
+	// to p1 when its beats resume.
+	res := fdlab.Run(fdlab.Setup{
+		N:    5,
+		Seed: 13,
+		Net:  partitionLeaderNet(300*time.Millisecond, 600*time.Millisecond),
+		Build: func(p dsys.Proc) any {
+			return omega.StartStable(p, omega.Options{})
+		},
+		RunFor: 4 * time.Second,
+	})
+	v := res.Trace.OmegaProperty()
+	if !v.Holds {
+		t.Fatal("Ω property does not hold across the transient partition")
+	}
+	if v.Witness != 2 {
+		t.Errorf("final leader %v, want p2 (p1 was demoted and must stay demoted)", v.Witness)
+	}
+	// After the heal, no process may ever trust p1 again.
+	for _, id := range res.Trace.CorrectIDs() {
+		for _, s := range res.Trace.Rec.Samples(id) {
+			if s.At > 1500*time.Millisecond && s.Trusted == 1 {
+				t.Fatalf("%v reverted to the demoted leader p1 at %v", id, s.At)
+			}
+		}
+	}
+}
+
+func TestPlainLeaderBeatDoesRevert(t *testing.T) {
+	// The contrast: plain LeaderBeat retracts the suspicion when p1's beats
+	// resume and flaps back to p1 — stability is what Stable adds.
+	res := fdlab.Run(fdlab.Setup{
+		N:    5,
+		Seed: 13,
+		Net:  partitionLeaderNet(300*time.Millisecond, 600*time.Millisecond),
+		Build: func(p dsys.Proc) any {
+			return omega.StartLeaderBeat(p, omega.Options{})
+		},
+		RunFor: 4 * time.Second,
+	})
+	v := res.Trace.OmegaProperty()
+	if !v.Holds {
+		t.Fatal("Ω property does not hold for plain LeaderBeat")
+	}
+	if v.Witness != 1 {
+		t.Errorf("plain LeaderBeat final leader %v, want p1 (it reverts by design)", v.Witness)
+	}
+}
+
+func TestStableFewerLeaderChangesUnderFlakyLeaderLinks(t *testing.T) {
+	// Repeated short silences of p1: the stable module demotes once and is
+	// done; plain LeaderBeat changes leaders on every flap. Compare total
+	// observed changes.
+	flaky := func() network.Network {
+		base := network.PartiallySynchronous{GST: 0, Delta: 5 * time.Millisecond}
+		return network.Func(func(from, to dsys.ProcessID, kind string, now time.Duration, rng *rand.Rand) (time.Duration, bool) {
+			if from == 1 {
+				// 150ms silent out of every 500ms.
+				phase := now % (500 * time.Millisecond)
+				if phase < 150*time.Millisecond {
+					return 0, true
+				}
+			}
+			return base.Plan(from, to, kind, now, rng)
+		})
+	}
+	changes := func(stable bool) int {
+		res := fdlab.Run(fdlab.Setup{
+			N:    5,
+			Seed: 14,
+			Net:  flaky(),
+			Build: func(p dsys.Proc) any {
+				if stable {
+					return omega.StartStable(p, omega.Options{})
+				}
+				return omega.StartLeaderBeat(p, omega.Options{})
+			},
+			RunFor: 5 * time.Second,
+		})
+		total := 0
+		for _, m := range res.Modules {
+			switch d := m.(type) {
+			case *omega.Stable:
+				total += d.LeaderChanges()
+			case *omega.LeaderBeat:
+				total += d.LeaderChanges()
+			}
+		}
+		return total
+	}
+	st, plain := changes(true), changes(false)
+	if st >= plain {
+		t.Errorf("stable made %d leader changes, plain %d — stability shows no benefit", st, plain)
+	}
+}

@@ -1,0 +1,309 @@
+// Package ring implements a ring-based eventually consistent failure
+// detector in the style of the ◇S algorithm of Larrea, Arévalo and Fernández
+// (DISC'99), which the paper singles out in Section 3 as a detector that
+// yields ◇C at no additional message cost.
+//
+// Processes are arranged on the logical ring p1 → p2 → ... → pn → p1. Each
+// process periodically sends a heartbeat carrying its current suspect list
+// to its nearest non-suspected successor, and monitors its nearest
+// non-suspected predecessor with an adaptive timeout. When the predecessor
+// times out it is suspected and monitoring moves one step further back; a
+// WATCH request tells the new predecessor to direct heartbeats here while
+// the ring is locally re-stitched. Suspect lists ride the heartbeats hop by
+// hop around the ring, so everyone eventually learns of every crash (strong
+// completeness), while adaptive timeouts make false suspicions die out after
+// GST (here even eventual strong accuracy; the paper only needs the ◇S
+// subset of that).
+//
+// The leader is the first process in ring order, starting from the initial
+// candidate p1, that is not suspected. Because the suspect lists of correct
+// processes converge, all correct processes eventually and permanently agree
+// on the same correct leader — exactly the property the paper exploits:
+// Trusted() costs no extra messages on top of the ◇S machinery.
+//
+// Steady-state cost: n heartbeats per period (one per live process), plus a
+// WATCH renewal per crash gap. Crash-detection information travels the ring
+// one hop per period, which is the propagation latency the paper's
+// transformation is designed to beat (experiment E4).
+package ring
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd"
+)
+
+// Message kinds.
+const (
+	// KindBeat is the ring heartbeat; its payload is a []dsys.ProcessID
+	// snapshot of the sender's suspect list.
+	KindBeat = "ring.beat"
+	// KindWatch asks the destination to direct ring heartbeats to the
+	// sender for WatchTTL.
+	KindWatch = "ring.watch"
+)
+
+// Options configures the detector. Zero fields take defaults.
+type Options struct {
+	// Period η between heartbeats. Default 10ms.
+	Period time.Duration
+	// InitialTimeout is the starting per-process timeout. Default 3·Period.
+	InitialTimeout time.Duration
+	// TimeoutIncrement is added to a process's timeout each time a false
+	// suspicion of it is corrected. Default 2·Period.
+	TimeoutIncrement time.Duration
+	// CheckInterval is how often expiries are evaluated. Default Period/2.
+	CheckInterval time.Duration
+	// WatchTTL is how long a WATCH keeps the watcher on the sender's
+	// heartbeat list. Default 6·Period.
+	WatchTTL time.Duration
+	// WatchRenew is how often a process re-sends WATCH to a predecessor
+	// that is not its immediate ring neighbour. Default WatchTTL/2.
+	WatchRenew time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Period <= 0 {
+		o.Period = 10 * time.Millisecond
+	}
+	if o.InitialTimeout <= 0 {
+		o.InitialTimeout = 3 * o.Period
+	}
+	if o.TimeoutIncrement <= 0 {
+		o.TimeoutIncrement = 2 * o.Period
+	}
+	if o.CheckInterval <= 0 {
+		o.CheckInterval = o.Period / 2
+	}
+	if o.WatchTTL <= 0 {
+		o.WatchTTL = 6 * o.Period
+	}
+	if o.WatchRenew <= 0 {
+		o.WatchRenew = o.WatchTTL / 2
+	}
+}
+
+// Detector is a ring ◇C module attached to one process.
+type Detector struct {
+	opt  Options
+	self dsys.ProcessID
+	n    int
+
+	mu        sync.Mutex
+	susp      fd.Set
+	pred      dsys.ProcessID // nearest non-suspected predecessor; None if alone
+	rewatched bool           // a retry WATCH was sent for the current pred deadline
+	lastHeard map[dsys.ProcessID]time.Duration
+	timeout   map[dsys.ProcessID]time.Duration
+	watchers  map[dsys.ProcessID]time.Duration // watcher -> expiry
+	lastWatch time.Duration                    // last renewal WATCH to pred
+	falseSusp int
+}
+
+var _ fd.EventuallyConsistent = (*Detector)(nil)
+
+// Start attaches a ring detector to p's process and spawns its tasks.
+func Start(p dsys.Proc, opt Options) *Detector {
+	opt.fill()
+	d := &Detector{
+		opt:       opt,
+		self:      p.ID(),
+		n:         p.N(),
+		susp:      fd.Set{},
+		lastHeard: make(map[dsys.ProcessID]time.Duration, p.N()),
+		timeout:   make(map[dsys.ProcessID]time.Duration, p.N()),
+		watchers:  make(map[dsys.ProcessID]time.Duration),
+	}
+	now := p.Now()
+	for _, q := range p.All() {
+		if q != d.self {
+			d.lastHeard[q] = now
+			d.timeout[q] = opt.InitialTimeout
+		}
+	}
+	d.pred = d.nearestPred()
+	p.Spawn("ring-beat", d.beatTask)
+	p.Spawn("ring-recv", d.recvTask)
+	p.Spawn("ring-check", d.checkTask)
+	return d
+}
+
+// Suspected implements fd.Suspector.
+func (d *Detector) Suspected() fd.Set {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.susp.Clone()
+}
+
+// Trusted implements fd.LeaderOracle: the first non-suspected process in
+// ring order starting from the initial candidate p1.
+func (d *Detector) Trusted() dsys.ProcessID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return fd.FirstNonSuspected(d.susp, d.n)
+}
+
+// FalseSuspicions returns how many suspicions were later retracted.
+func (d *Detector) FalseSuspicions() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.falseSusp
+}
+
+// prev returns the ring predecessor of q.
+func (d *Detector) prev(q dsys.ProcessID) dsys.ProcessID {
+	if q == 1 {
+		return dsys.ProcessID(d.n)
+	}
+	return q - 1
+}
+
+// next returns the ring successor of q.
+func (d *Detector) next(q dsys.ProcessID) dsys.ProcessID {
+	if int(q) == d.n {
+		return 1
+	}
+	return q + 1
+}
+
+// nearestPred returns the closest predecessor of self not in susp, or None
+// if every other process is suspected. Callers hold d.mu.
+func (d *Detector) nearestPred() dsys.ProcessID {
+	for q := d.prev(d.self); q != d.self; q = d.prev(q) {
+		if !d.susp.Has(q) {
+			return q
+		}
+	}
+	return dsys.None
+}
+
+// nearestSucc is the symmetric successor computation. Callers hold d.mu.
+func (d *Detector) nearestSucc() dsys.ProcessID {
+	for q := d.next(d.self); q != d.self; q = d.next(q) {
+		if !d.susp.Has(q) {
+			return q
+		}
+	}
+	return dsys.None
+}
+
+// setPred switches monitoring to q, granting it a fresh grace period, and
+// requests its heartbeats. Callers hold d.mu.
+func (d *Detector) setPred(p dsys.Proc, q dsys.ProcessID) {
+	d.pred = q
+	d.rewatched = false
+	if q == dsys.None {
+		return
+	}
+	d.lastHeard[q] = p.Now()
+	d.lastWatch = p.Now()
+	p.Send(q, KindWatch, nil)
+}
+
+func (d *Detector) beatTask(p dsys.Proc) {
+	for {
+		d.mu.Lock()
+		targets := fd.Set{}
+		if s := d.nearestSucc(); s != dsys.None {
+			targets.Add(s)
+		}
+		now := p.Now()
+		for w, exp := range d.watchers {
+			if exp <= now {
+				delete(d.watchers, w)
+			} else {
+				targets.Add(w)
+			}
+		}
+		list := d.susp.Members()
+		d.mu.Unlock()
+		for _, q := range targets.Members() {
+			p.Send(q, KindBeat, list)
+		}
+		p.Sleep(d.opt.Period)
+	}
+}
+
+func (d *Detector) recvTask(p dsys.Proc) {
+	match := func(m *dsys.Message) bool { return m.Kind == KindBeat || m.Kind == KindWatch }
+	for {
+		m, ok := p.Recv(match)
+		if !ok {
+			return
+		}
+		d.mu.Lock()
+		switch m.Kind {
+		case KindWatch:
+			d.watchers[m.From] = p.Now() + d.opt.WatchTTL
+		case KindBeat:
+			d.lastHeard[m.From] = p.Now()
+			if d.susp.Has(m.From) {
+				// A falsely suspected process resurfaced: retract, back off
+				// its timeout, and re-evaluate whom to monitor.
+				d.susp.Remove(m.From)
+				d.falseSusp++
+				d.timeout[m.From] += d.opt.TimeoutIncrement
+				if np := d.nearestPred(); np != d.pred {
+					d.setPred(p, np)
+				}
+			}
+			if m.From == d.pred {
+				// Adopt the predecessor's list as the upstream truth, but
+				// keep our direct knowledge of the ring segment between the
+				// predecessor and us: those are exactly the processes we
+				// timed out on ourselves, and a predecessor that has not yet
+				// learned of their crashes (the information must travel the
+				// whole ring) must not be able to erase them.
+				newSusp := fd.Set{}
+				for _, q := range m.Payload.([]dsys.ProcessID) {
+					if q != d.self && q != d.pred {
+						newSusp.Add(q)
+					}
+				}
+				for q := d.next(d.pred); q != d.self; q = d.next(q) {
+					newSusp.Add(q)
+				}
+				d.susp = newSusp
+				d.rewatched = false
+			}
+		}
+		d.mu.Unlock()
+	}
+}
+
+func (d *Detector) checkTask(p dsys.Proc) {
+	for {
+		p.Sleep(d.opt.CheckInterval)
+		now := p.Now()
+		d.mu.Lock()
+		if d.pred == dsys.None {
+			if np := d.nearestPred(); np != dsys.None {
+				d.setPred(p, np)
+			}
+			d.mu.Unlock()
+			continue
+		}
+		if now-d.lastHeard[d.pred] > d.timeout[d.pred] {
+			if !d.rewatched {
+				// The predecessor may simply not know we are listening
+				// (e.g. it still heartbeats a process we already gave up
+				// on). Ask once more before suspecting it.
+				d.rewatched = true
+				d.lastHeard[d.pred] = now
+				d.lastWatch = now
+				p.Send(d.pred, KindWatch, nil)
+			} else {
+				d.susp.Add(d.pred)
+				d.setPred(p, d.nearestPred())
+			}
+		} else if d.pred != d.prev(d.self) && now-d.lastWatch >= d.opt.WatchRenew {
+			// Keep a non-adjacent predecessor's watcher entry alive across
+			// crash gaps.
+			d.lastWatch = now
+			p.Send(d.pred, KindWatch, nil)
+		}
+		d.mu.Unlock()
+	}
+}

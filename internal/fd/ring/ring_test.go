@@ -1,0 +1,191 @@
+package ring_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd/fdlab"
+	"repro/internal/fd/ring"
+	"repro/internal/network"
+)
+
+func run(t *testing.T, n int, seed int64, net network.Network, crashes map[dsys.ProcessID]time.Duration, runFor time.Duration) fdlab.Result {
+	t.Helper()
+	return fdlab.Run(fdlab.Setup{
+		N:       n,
+		Seed:    seed,
+		Net:     net,
+		Crashes: crashes,
+		RunFor:  runFor,
+		Build:   func(p dsys.Proc) any { return ring.Start(p, ring.Options{}) },
+	})
+}
+
+func TestEventuallyConsistentNoCrashes(t *testing.T) {
+	res := run(t, 6, 1, fdlab.PartialSync(100*time.Millisecond, 10*time.Millisecond), nil, 2*time.Second)
+	v := res.Trace.EventuallyConsistent()
+	if !v.Holds {
+		t.Fatal("◇C properties do not hold")
+	}
+	if v.Witness != 1 {
+		t.Errorf("leader = %v, want p1 (initial candidate, correct)", v.Witness)
+	}
+}
+
+func TestLeaderMovesPastCrashedPrefix(t *testing.T) {
+	crashes := map[dsys.ProcessID]time.Duration{
+		1: 200 * time.Millisecond,
+		2: 250 * time.Millisecond,
+	}
+	res := run(t, 6, 2, fdlab.PartialSync(0, 10*time.Millisecond), crashes, 3*time.Second)
+	v := res.Trace.EventuallyConsistent()
+	if !v.Holds {
+		t.Fatal("◇C properties do not hold after leader crashes")
+	}
+	if v.Witness != 3 {
+		t.Errorf("leader = %v, want p3 (first correct in ring order)", v.Witness)
+	}
+}
+
+func TestAdjacentCrashBurstIsBridged(t *testing.T) {
+	// p3, p4, p5 crash almost together: p6 must walk its monitoring back
+	// across the whole gap via WATCH requests.
+	crashes := map[dsys.ProcessID]time.Duration{
+		3: 300 * time.Millisecond,
+		4: 310 * time.Millisecond,
+		5: 320 * time.Millisecond,
+	}
+	res := run(t, 8, 3, fdlab.PartialSync(0, 10*time.Millisecond), crashes, 4*time.Second)
+	if v := res.Trace.StrongCompleteness(); !v.Holds {
+		t.Fatal("strong completeness violated with adjacent crashes")
+	}
+	if v := res.Trace.EventuallyConsistent(); !v.Holds || v.Witness != 1 {
+		t.Fatalf("◇C verdict %+v", v)
+	}
+}
+
+func TestWrapAroundCrash(t *testing.T) {
+	// Crash of p_n exercises the cyclic predecessor arithmetic at p1.
+	crashes := map[dsys.ProcessID]time.Duration{5: 200 * time.Millisecond}
+	res := run(t, 5, 4, fdlab.PartialSync(0, 10*time.Millisecond), crashes, 2*time.Second)
+	if v := res.Trace.EventuallyConsistent(); !v.Holds || v.Witness != 1 {
+		t.Fatalf("◇C verdict %+v", v)
+	}
+}
+
+func TestSurvivesMaximalCrashes(t *testing.T) {
+	// All but one process crash; the survivor must suspect everyone and
+	// trust itself.
+	crashes := map[dsys.ProcessID]time.Duration{
+		1: 100 * time.Millisecond,
+		2: 150 * time.Millisecond,
+		4: 200 * time.Millisecond,
+		5: 250 * time.Millisecond,
+	}
+	res := run(t, 5, 5, fdlab.PartialSync(0, 10*time.Millisecond), crashes, 3*time.Second)
+	if v := res.Trace.EventuallyConsistent(); !v.Holds || v.Witness != 3 {
+		t.Fatalf("◇C verdict %+v, want witness p3", v)
+	}
+	samples := res.Trace.Rec.Samples(3)
+	last := samples[len(samples)-1]
+	if last.Suspected.Len() != 4 {
+		t.Errorf("survivor's final suspect set %v, want all four others", last.Suspected)
+	}
+}
+
+func TestAccuracyRecoversFromPreGSTChaos(t *testing.T) {
+	// Long asynchronous prefix with message loss before GST: false
+	// suspicions happen, then adaptive timeouts and the WATCH protocol
+	// restore a stable ring.
+	net := network.PartiallySynchronous{
+		GST:        600 * time.Millisecond,
+		Delta:      10 * time.Millisecond,
+		PreGST:     network.Uniform{Min: 0, Max: 120 * time.Millisecond},
+		PreGSTLoss: 0.3,
+	}
+	res := run(t, 5, 6, net, map[dsys.ProcessID]time.Duration{4: 400 * time.Millisecond}, 6*time.Second)
+	v := res.Trace.EventuallyConsistent()
+	if !v.Holds {
+		t.Fatal("◇C does not recover after pre-GST chaos")
+	}
+	if v.Witness != 1 {
+		t.Errorf("leader = %v, want p1", v.Witness)
+	}
+}
+
+func TestLinearMessageCost(t *testing.T) {
+	// Steady state with no crashes: one beat per process per period and no
+	// WATCH traffic at all.
+	for _, n := range []int{4, 8, 16} {
+		res := fdlab.Run(fdlab.Setup{
+			N:    n,
+			Seed: 7,
+			Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
+			Build: func(p dsys.Proc) any {
+				return ring.Start(p, ring.Options{Period: 10 * time.Millisecond})
+			},
+			RunFor: time.Second,
+		})
+		window := 500 * time.Millisecond
+		periods := int(window / (10 * time.Millisecond))
+		beats := res.Messages.SentBetween(400*time.Millisecond, 400*time.Millisecond+window, ring.KindBeat)
+		if beats != periods*n {
+			t.Errorf("n=%d: %d beats in %d periods, want %d", n, beats, periods, periods*n)
+		}
+		watches := res.Messages.SentBetween(400*time.Millisecond, 400*time.Millisecond+window, ring.KindWatch)
+		if watches != 0 {
+			t.Errorf("n=%d: %d WATCH messages in steady state, want 0", n, watches)
+		}
+	}
+}
+
+func TestCrashInfoPropagatesAroundRing(t *testing.T) {
+	// After p3 crashes, every correct process eventually suspects it; the
+	// information travels hop by hop, so it must arrive within O(n) periods
+	// but is allowed to take several.
+	n := 10
+	crashAt := 300 * time.Millisecond
+	res := fdlab.Run(fdlab.Setup{
+		N:       n,
+		Seed:    8,
+		Net:     network.Reliable{Latency: network.Fixed(time.Millisecond)},
+		Crashes: map[dsys.ProcessID]time.Duration{3: crashAt},
+		Build: func(p dsys.Proc) any {
+			return ring.Start(p, ring.Options{Period: 10 * time.Millisecond})
+		},
+		RunFor: 2 * time.Second,
+	})
+	for _, p := range res.Trace.CorrectIDs() {
+		detected := time.Duration(-1)
+		for _, s := range res.Trace.Rec.Samples(p) {
+			if s.Suspected.Has(3) {
+				detected = s.At
+				break
+			}
+		}
+		if detected < 0 {
+			t.Fatalf("%v never suspected p3", p)
+		}
+		if detected > crashAt+time.Duration(n+5)*20*time.Millisecond {
+			t.Errorf("%v detected crash only at %v", p, detected)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() string {
+		res := run(t, 5, 99, fdlab.PartialSync(50*time.Millisecond, 10*time.Millisecond),
+			map[dsys.ProcessID]time.Duration{2: 100 * time.Millisecond}, time.Second)
+		out := ""
+		for _, id := range res.Trace.CorrectIDs() {
+			for _, s := range res.Trace.Rec.Samples(id) {
+				out += s.Suspected.String() + s.Trusted.String()
+			}
+		}
+		return out
+	}
+	if run() != run() {
+		t.Error("ring detector runs diverged under identical seeds")
+	}
+}

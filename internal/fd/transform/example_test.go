@@ -1,0 +1,37 @@
+package transform_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd/fdtest"
+	"repro/internal/fd/transform"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// The Fig. 2 transformation builds a ◇P suspect list from an eventual
+// leader: the leader (here scripted to be p1) times out on the crashed
+// process and propagates the list to everyone.
+func ExampleStart() {
+	k := sim.New(sim.Config{
+		N:       4,
+		Network: network.Reliable{Latency: network.Fixed(time.Millisecond)},
+		Seed:    1,
+	})
+	dets := make([]*transform.Detector, 5)
+	for _, id := range dsys.Pids(4) {
+		id := id
+		k.Spawn(id, "tp", func(p dsys.Proc) {
+			dets[id] = transform.Start(p, fdtest.NewScripted(1), transform.Options{})
+		})
+	}
+	k.CrashAt(3, 100*time.Millisecond)
+	k.Run(500 * time.Millisecond)
+	fmt.Println("leader p1 suspects:", dets[1].Suspected())
+	fmt.Println("follower p4 adopted:", dets[4].Suspected())
+	// Output:
+	// leader p1 suspects: {p3}
+	// follower p4 adopted: {p3}
+}

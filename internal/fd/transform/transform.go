@@ -1,0 +1,277 @@
+// Package transform implements the paper's central algorithm (Fig. 2,
+// Section 4): transforming any ◇C failure detector D into a ◇P failure
+// detector in a model of partial synchrony.
+//
+// The eventually agreed trusted process p_leader provided by D builds a
+// global list of suspected processes and propagates it:
+//
+//	Task 1  (leader)  every Φ: send the local suspect list to all others.
+//	Task 2  (all)     every Φ: send I-AM-ALIVE to the current trusted
+//	                  process (unless that is the process itself).
+//	Task 3  (leader)  suspect every process whose I-AM-ALIVE has not been
+//	                  seen within its timeout Δp(q).
+//	Task 4  (leader)  on I-AM-ALIVE from a suspected q: stop suspecting q
+//	                  and increase Δp(q).
+//	Task 5  (all)     on receiving a suspect list from the current trusted
+//	                  process: adopt it.
+//
+// Only the leader's n−1 input links need to be partially synchronous and
+// its n−1 output links fair-lossy (Theorem 1); nothing is required of the
+// other links, and eventually only those 2(n−1) links carry messages. The
+// algorithm queries D only for its trusted process, so it equally transforms
+// a plain Ω detector into ◇P — a property the tests exercise.
+//
+// The Piggyback option implements the optimization discussed after Theorem
+// 1: when the underlying detector's leader already broadcasts periodically
+// (fd.Beacon, e.g. the LeaderBeat Ω detector), the suspect list rides on
+// those broadcasts, Task 1 is suppressed, and the transformation itself adds
+// only the n−1 I-AM-ALIVE messages per period.
+package transform
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd"
+)
+
+// Message kinds.
+const (
+	// KindAlive is the I-AM-ALIVE message from every process to its
+	// trusted process (Task 2).
+	KindAlive = "tp.alive"
+	// KindList carries the leader's suspect list ([]dsys.ProcessID) to all
+	// processes (Task 1).
+	KindList = "tp.list"
+)
+
+// Options configures the transformation. Zero fields take defaults.
+type Options struct {
+	// Period Φ of Tasks 1 and 2. Default 10ms.
+	Period time.Duration
+	// InitialTimeout is the starting value of every Δp(q). Default
+	// 3·Period.
+	InitialTimeout time.Duration
+	// TimeoutIncrement is added to Δp(q) on each retracted suspicion (Task
+	// 4). Default 2·Period.
+	TimeoutIncrement time.Duration
+	// CheckInterval is how often Task 3 evaluates expiries. Default
+	// Period/2.
+	CheckInterval time.Duration
+	// Piggyback, when non-nil, suppresses Task 1 and rides the suspect
+	// list on the beacon's leader broadcasts instead.
+	Piggyback fd.Beacon
+}
+
+func (o *Options) fill() {
+	if o.Period <= 0 {
+		o.Period = 10 * time.Millisecond
+	}
+	if o.InitialTimeout <= 0 {
+		o.InitialTimeout = 3 * o.Period
+	}
+	if o.TimeoutIncrement <= 0 {
+		o.TimeoutIncrement = 2 * o.Period
+	}
+	if o.CheckInterval <= 0 {
+		o.CheckInterval = o.Period / 2
+	}
+}
+
+// Detector is the ◇P module produced by the transformation at one process.
+type Detector struct {
+	opt   Options
+	self  dsys.ProcessID
+	n     int
+	under fd.LeaderOracle
+
+	mu        sync.Mutex
+	list      fd.Set // output suspect list
+	lastAlive map[dsys.ProcessID]time.Duration
+	timeout   map[dsys.ProcessID]time.Duration
+	// leaderSince is when this process last became leader in its own view;
+	// it bounds the freshness reference for Task 3 so stale lastAlive
+	// values from a previous leadership stint do not cause instant
+	// suspicions.
+	leaderSince time.Duration
+	wasLeader   bool
+	falseSusp   int
+	adoptions   int
+}
+
+var _ fd.Suspector = (*Detector)(nil)
+
+// Start attaches the transformation to p's process, reading the trusted
+// process from under (a ◇C or Ω detector).
+func Start(p dsys.Proc, under fd.LeaderOracle, opt Options) *Detector {
+	opt.fill()
+	d := &Detector{
+		opt:       opt,
+		self:      p.ID(),
+		n:         p.N(),
+		under:     under,
+		list:      fd.Set{},
+		lastAlive: make(map[dsys.ProcessID]time.Duration, p.N()),
+		timeout:   make(map[dsys.ProcessID]time.Duration, p.N()),
+	}
+	now := p.Now()
+	for _, q := range p.All() {
+		if q != d.self {
+			d.lastAlive[q] = now
+			d.timeout[q] = opt.InitialTimeout
+		}
+	}
+	if opt.Piggyback != nil {
+		opt.Piggyback.SetBeaconPayload(func() any {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return d.list.Members()
+		})
+		opt.Piggyback.OnBeacon(func(from dsys.ProcessID, payload any) {
+			if list, ok := payload.([]dsys.ProcessID); ok {
+				d.adopt(p, from, list)
+			}
+		})
+	} else {
+		p.Spawn("tp-task1", d.task1)
+	}
+	p.Spawn("tp-task2", d.task2)
+	p.Spawn("tp-task34", d.task34)
+	if opt.Piggyback == nil {
+		p.Spawn("tp-task5", d.task5)
+	}
+	return d
+}
+
+// Suspected implements fd.Suspector; its output satisfies the ◇P properties
+// under the link assumptions of Theorem 1.
+func (d *Detector) Suspected() fd.Set {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.list.Clone()
+}
+
+// FalseSuspicions returns how many leader-side suspicions were retracted by
+// Task 4.
+func (d *Detector) FalseSuspicions() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.falseSusp
+}
+
+// Adoptions returns how many suspect lists were adopted from the trusted
+// process (Task 5).
+func (d *Detector) Adoptions() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.adoptions
+}
+
+// isLeader reports whether this process currently considers itself leader,
+// tracking leadership transitions for Task 3's freshness reference.
+func (d *Detector) isLeader(now time.Duration) bool {
+	leader := d.under.Trusted() == d.self
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if leader && !d.wasLeader {
+		d.leaderSince = now
+	}
+	d.wasLeader = leader
+	return leader
+}
+
+// task1: the leader periodically sends its suspect list to everyone else.
+func (d *Detector) task1(p dsys.Proc) {
+	for {
+		if d.isLeader(p.Now()) {
+			d.mu.Lock()
+			list := d.list.Members()
+			d.mu.Unlock()
+			for _, q := range p.All() {
+				if q != d.self {
+					p.Send(q, KindList, list)
+				}
+			}
+		}
+		p.Sleep(d.opt.Period)
+	}
+}
+
+// task2: everyone periodically tells its trusted process it is alive.
+func (d *Detector) task2(p dsys.Proc) {
+	for {
+		if t := d.under.Trusted(); t != dsys.None && t != d.self {
+			p.Send(t, KindAlive, nil)
+		}
+		p.Sleep(d.opt.Period)
+	}
+}
+
+// task34 combines the leader's timeout scanning (Task 3) and the retraction
+// of suspicions when I-AM-ALIVE messages arrive (Task 4).
+func (d *Detector) task34(p dsys.Proc) {
+	p.Spawn("tp-task4", func(p dsys.Proc) {
+		for {
+			m, ok := p.Recv(dsys.MatchKind(KindAlive))
+			if !ok {
+				return
+			}
+			d.mu.Lock()
+			d.lastAlive[m.From] = p.Now()
+			if d.list.Has(m.From) {
+				// Task 4: the suspicion was a mistake; retract it and back
+				// off so that q is suspected only a bounded number of times
+				// once the system is stable (proof of Theorem 1).
+				d.list.Remove(m.From)
+				d.falseSusp++
+				d.timeout[m.From] += d.opt.TimeoutIncrement
+			}
+			d.mu.Unlock()
+		}
+	})
+	for {
+		p.Sleep(d.opt.CheckInterval)
+		now := p.Now()
+		if !d.isLeader(now) {
+			continue
+		}
+		d.mu.Lock()
+		for _, q := range p.All() {
+			if q == d.self || d.list.Has(q) {
+				continue
+			}
+			ref := d.lastAlive[q]
+			if d.leaderSince > ref {
+				ref = d.leaderSince
+			}
+			if now-ref > d.timeout[q] {
+				// Task 3: no I-AM-ALIVE within Δp(q); suspect q. The leader
+				// never suspects itself.
+				d.list.Add(q)
+			}
+		}
+		d.mu.Unlock()
+	}
+}
+
+// task5: adopt the suspect list sent by the currently trusted process.
+func (d *Detector) task5(p dsys.Proc) {
+	for {
+		m, ok := p.Recv(dsys.MatchKind(KindList))
+		if !ok {
+			return
+		}
+		d.adopt(p, m.From, m.Payload.([]dsys.ProcessID))
+	}
+}
+
+func (d *Detector) adopt(p dsys.Proc, from dsys.ProcessID, list []dsys.ProcessID) {
+	if d.under.Trusted() != from || from == d.self {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.list = fd.NewSet(list...)
+	d.adoptions++
+}

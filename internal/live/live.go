@@ -1,0 +1,333 @@
+// Package live is the real-time runtime: it implements the same dsys.Proc
+// interface as the deterministic simulator (package sim), but tasks are
+// ordinary goroutines, time is the wall clock, and message latency/loss is
+// imposed by a network model evaluated on real timers. Algorithms written
+// once against dsys.Proc therefore run unchanged on real concurrency — used
+// by the examples to demonstrate the detectors and consensus outside the
+// simulator.
+//
+// Unlike the simulator, runs are not reproducible (goroutine scheduling and
+// wall-clock timing are real); the property checkers still apply via
+// check.FDRecorder.AddSample.
+package live
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/network"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a live cluster.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Network models latency and loss (default: uniform 1–5ms reliable).
+	// Ignored when Transport is set.
+	Network network.Network
+	// Seed drives the network model's randomness.
+	Seed int64
+	// Trace receives message and crash events. Optional.
+	Trace *trace.Collector
+	// Log receives task debug output. Optional.
+	Log io.Writer
+	// Transport, if set, replaces the in-memory delivery path: every
+	// non-self Send is handed to it, and the transport is responsible for
+	// eventually calling Cluster.Inject on the destination's side. Used by
+	// package tcpnet to run the cluster over real sockets.
+	Transport func(m *dsys.Message)
+}
+
+// Cluster is a set of live processes in one OS process.
+type Cluster struct {
+	cfg   Config
+	start time.Time
+	pids  []dsys.ProcessID
+	procs []*lproc
+	netMu sync.Mutex
+	rng   *rand.Rand
+	wg    sync.WaitGroup
+
+	stopOnce sync.Once
+}
+
+// unwind is thrown inside blocking primitives to terminate a task when its
+// process crashes or the cluster stops; recovered by the task wrapper.
+type unwind struct{}
+
+type lproc struct {
+	c       *Cluster
+	id      dsys.ProcessID
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []*dsys.Message
+	crashed bool
+	stopped bool
+	done    chan struct{}
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+}
+
+// NewCluster creates a live cluster of cfg.N processes.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.N < 1 {
+		panic("live: Config.N must be at least 1")
+	}
+	if cfg.Network == nil {
+		cfg.Network = network.Reliable{Latency: network.Uniform{Min: time.Millisecond, Max: 5 * time.Millisecond}}
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		start: time.Now(),
+		pids:  dsys.Pids(cfg.N),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	c.procs = make([]*lproc, cfg.N)
+	for i := range c.procs {
+		p := &lproc{
+			c:    c,
+			id:   dsys.ProcessID(i + 1),
+			done: make(chan struct{}),
+			rng:  rand.New(rand.NewSource(cfg.Seed ^ int64(0x9e3779b97f4a7c15*uint64(i+1)))),
+		}
+		p.cond = sync.NewCond(&p.mu)
+		c.procs[i] = p
+	}
+	return c
+}
+
+// Spawn starts a task of process id as a goroutine.
+func (c *Cluster) Spawn(id dsys.ProcessID, name string, fn dsys.TaskFunc) {
+	p := c.proc(id)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(unwind); !ok {
+					panic(r)
+				}
+			}
+		}()
+		fn(taskView{p: p, name: name})
+	}()
+}
+
+// Crash permanently crashes process id: its tasks are unwound at their next
+// blocking primitive and its messages stop flowing.
+func (c *Cluster) Crash(id dsys.ProcessID) {
+	p := c.proc(id)
+	p.mu.Lock()
+	already := p.crashed
+	p.crashed = true
+	p.buf = nil
+	p.mu.Unlock()
+	if already {
+		return
+	}
+	close(p.done)
+	p.cond.Broadcast()
+	c.cfg.Trace.OnCrash(id, time.Since(c.start))
+}
+
+// Crashed reports whether id has crashed.
+func (c *Cluster) Crashed(id dsys.ProcessID) bool {
+	p := c.proc(id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed
+}
+
+// Stop unwinds every task and waits for them to exit. Tasks stuck in
+// non-blocking user code are only reaped at their next primitive call.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() {
+		for _, p := range c.procs {
+			p.mu.Lock()
+			p.stopped = true
+			wasCrashed := p.crashed
+			p.mu.Unlock()
+			if !wasCrashed {
+				close(p.done)
+			}
+			p.cond.Broadcast()
+		}
+	})
+	c.wg.Wait()
+}
+
+// Now returns the cluster-relative wall time.
+func (c *Cluster) Now() time.Duration { return time.Since(c.start) }
+
+func (c *Cluster) proc(id dsys.ProcessID) *lproc {
+	if id < 1 || int(id) > len(c.procs) {
+		panic(fmt.Sprintf("live: invalid process id %v", id))
+	}
+	return c.procs[id-1]
+}
+
+// taskView implements dsys.Proc for one live task.
+type taskView struct {
+	p    *lproc
+	name string
+}
+
+var _ dsys.Proc = taskView{}
+
+func (v taskView) ID() dsys.ProcessID    { return v.p.id }
+func (v taskView) N() int                { return len(v.p.c.procs) }
+func (v taskView) All() []dsys.ProcessID { return v.p.c.pids }
+func (v taskView) Now() time.Duration    { return time.Since(v.p.c.start) }
+
+func (v taskView) Rand() *rand.Rand {
+	// The per-process source is shared by its tasks; per-call locking makes
+	// access safe at the cost of determinism (which live does not promise
+	// anyway). A fresh Rand wrapping a locked source would allocate per
+	// call; instead we expose the shared one guarded by the process lock
+	// through lockedRand.
+	return rand.New(&lockedSource{p: v.p})
+}
+
+// lockedSource guards the process source.
+type lockedSource struct{ p *lproc }
+
+func (s *lockedSource) Int63() int64 {
+	s.p.rngMu.Lock()
+	defer s.p.rngMu.Unlock()
+	return s.p.rng.Int63()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.p.rngMu.Lock()
+	defer s.p.rngMu.Unlock()
+	s.p.rng = rand.New(rand.NewSource(seed))
+}
+
+func (v taskView) Send(to dsys.ProcessID, kind string, payload any) {
+	p := v.p
+	c := p.c
+	p.mu.Lock()
+	dead := p.crashed || p.stopped
+	p.mu.Unlock()
+	if dead {
+		return
+	}
+	now := time.Since(c.start)
+	m := &dsys.Message{From: p.id, To: to, Kind: kind, Payload: payload, SentAt: now}
+	if c.cfg.Transport != nil && to != p.id {
+		c.cfg.Trace.OnSend(m, false)
+		c.cfg.Transport(m)
+		return
+	}
+	var delay time.Duration
+	var drop bool
+	if to == p.id {
+		delay = 0
+	} else {
+		c.netMu.Lock()
+		delay, drop = c.cfg.Network.Plan(p.id, to, kind, now, c.rng)
+		c.netMu.Unlock()
+	}
+	c.cfg.Trace.OnSend(m, drop)
+	if drop {
+		return
+	}
+	if delay <= 0 {
+		c.Inject(m)
+	} else {
+		time.AfterFunc(delay, func() { c.Inject(m) })
+	}
+}
+
+// Inject delivers a message into the destination process's mailbox,
+// bypassing the network model. Transports (and tests) use it as the
+// receiving end of their delivery path.
+func (c *Cluster) Inject(m *dsys.Message) {
+	dst := c.proc(m.To)
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if dst.crashed || dst.stopped {
+		return
+	}
+	c.cfg.Trace.OnDeliver(m)
+	dst.buf = append(dst.buf, m)
+	dst.cond.Broadcast()
+}
+
+func (v taskView) Recv(match dsys.MatchFunc) (*dsys.Message, bool) {
+	p := v.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.crashed || p.stopped {
+			panic(unwind{})
+		}
+		if m := p.takeLocked(match); m != nil {
+			return m, true
+		}
+		p.cond.Wait()
+	}
+}
+
+func (v taskView) RecvTimeout(match dsys.MatchFunc, d time.Duration) (*dsys.Message, bool) {
+	p := v.p
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() { p.cond.Broadcast() })
+	defer timer.Stop()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.crashed || p.stopped {
+			panic(unwind{})
+		}
+		if m := p.takeLocked(match); m != nil {
+			return m, true
+		}
+		if !time.Now().Before(deadline) {
+			return nil, false
+		}
+		p.cond.Wait()
+	}
+}
+
+// takeLocked removes and returns the first buffered message matching match.
+func (p *lproc) takeLocked(match dsys.MatchFunc) *dsys.Message {
+	for i, m := range p.buf {
+		if match(m) {
+			p.buf = append(p.buf[:i], p.buf[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+func (v taskView) Sleep(d time.Duration) {
+	select {
+	case <-time.After(d):
+	case <-v.p.done:
+		panic(unwind{})
+	}
+}
+
+func (v taskView) Spawn(name string, fn dsys.TaskFunc) {
+	v.p.mu.Lock()
+	dead := v.p.crashed || v.p.stopped
+	v.p.mu.Unlock()
+	if dead {
+		panic(unwind{})
+	}
+	v.p.c.Spawn(v.p.id, name, fn)
+}
+
+func (v taskView) Logf(format string, args ...any) {
+	w := v.p.c.cfg.Log
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "%10v %v/%s: %s\n", time.Since(v.p.c.start).Round(time.Millisecond), v.p.id, v.name, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,142 @@
+package live_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/live"
+	"repro/internal/trace"
+)
+
+func TestInjectDeliversDirectly(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 2, Network: fastNet()})
+	defer c.Stop()
+	done := make(chan any, 1)
+	c.Spawn(2, "recv", func(p dsys.Proc) {
+		m, _ := p.Recv(dsys.MatchKind("injected"))
+		done <- m.Payload
+	})
+	time.Sleep(5 * time.Millisecond)
+	c.Inject(&dsys.Message{From: 1, To: 2, Kind: "injected", Payload: 99})
+	select {
+	case got := <-done:
+		if got != 99 {
+			t.Errorf("payload %v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("inject not delivered")
+	}
+}
+
+func TestInjectToCrashedIsDropped(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 2, Network: fastNet(), Trace: trace.NewCollector()})
+	defer c.Stop()
+	c.Crash(2)
+	c.Inject(&dsys.Message{From: 1, To: 2, Kind: "late", Payload: nil}) // must not panic or deliver
+}
+
+func TestCrashIsIdempotent(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 1, Network: fastNet()})
+	defer c.Stop()
+	c.Crash(1)
+	c.Crash(1) // second call must not close(done) twice
+	if !c.Crashed(1) {
+		t.Error("not crashed")
+	}
+}
+
+func TestSpawnAfterCrashDoesNotRun(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 1, Network: fastNet()})
+	defer c.Stop()
+	c.Crash(1)
+	var ran atomic.Bool
+	c.Spawn(1, "zombie", func(p dsys.Proc) {
+		// The first primitive must unwind us.
+		p.Sleep(time.Millisecond)
+		ran.Store(true)
+	})
+	time.Sleep(50 * time.Millisecond)
+	if ran.Load() {
+		t.Error("task of a crashed process ran past its first primitive")
+	}
+}
+
+func TestTransportHookReceivesNonSelfSends(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	var c *live.Cluster
+	c = live.NewCluster(live.Config{
+		N: 2,
+		Transport: func(m *dsys.Message) {
+			mu.Lock()
+			seen = append(seen, m.Kind)
+			mu.Unlock()
+			c.Inject(m) // loop straight back
+		},
+	})
+	defer c.Stop()
+	done := make(chan struct{})
+	c.Spawn(2, "recv", func(p dsys.Proc) {
+		p.Recv(dsys.MatchKind("via-transport"))
+		close(done)
+	})
+	c.Spawn(1, "send", func(p dsys.Proc) {
+		p.Send(1, "self", nil) // self-sends bypass the transport
+		p.Send(2, "via-transport", nil)
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("transport did not deliver")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, k := range seen {
+		if k == "self" {
+			t.Error("self-send leaked into the transport hook")
+		}
+	}
+	if len(seen) == 0 {
+		t.Error("transport hook never called")
+	}
+}
+
+func TestNowIsMonotonic(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 1, Network: fastNet()})
+	defer c.Stop()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	if b := c.Now(); b <= a {
+		t.Errorf("Now not monotonic: %v then %v", a, b)
+	}
+}
+
+func TestRandIsUsableConcurrently(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 1, Network: fastNet(), Seed: 5})
+	defer c.Stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		c.Spawn(1, "rand", func(p dsys.Proc) {
+			defer wg.Done()
+			r := p.Rand()
+			s := 0
+			for j := 0; j < 1000; j++ {
+				s += r.Intn(10)
+			}
+			if s == 0 {
+				t.Error("suspicious zero sum")
+			}
+		})
+	}
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rand tasks hung")
+	}
+}

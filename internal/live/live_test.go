@@ -1,0 +1,179 @@
+package live_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/cec"
+	"repro/internal/dsys"
+	"repro/internal/fd/ring"
+	"repro/internal/live"
+	"repro/internal/network"
+	"repro/internal/rbcast"
+	"repro/internal/trace"
+)
+
+func fastNet() network.Network {
+	return network.Reliable{Latency: network.Fixed(200 * time.Microsecond)}
+}
+
+func TestPingPongLive(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 2, Network: fastNet()})
+	done := make(chan int, 1)
+	c.Spawn(2, "ponger", func(p dsys.Proc) {
+		for {
+			m, _ := p.Recv(dsys.MatchKind("ping"))
+			p.Send(m.From, "pong", m.Payload)
+		}
+	})
+	c.Spawn(1, "pinger", func(p dsys.Proc) {
+		total := 0
+		for i := 0; i < 10; i++ {
+			p.Send(2, "ping", i)
+			m, _ := p.Recv(dsys.MatchKind("pong"))
+			total += m.Payload.(int)
+		}
+		done <- total
+	})
+	select {
+	case got := <-done:
+		if got != 45 {
+			t.Errorf("total = %d", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out")
+	}
+	c.Stop()
+}
+
+func TestRecvTimeoutLive(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 1, Network: fastNet()})
+	done := make(chan bool, 1)
+	c.Spawn(1, "waiter", func(p dsys.Proc) {
+		_, ok := p.RecvTimeout(dsys.MatchKind("never"), 20*time.Millisecond)
+		done <- ok
+	})
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("expected timeout")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out")
+	}
+	c.Stop()
+}
+
+func TestCrashUnblocksTasks(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 2, Network: fastNet(), Trace: trace.NewCollector()})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	exited := false
+	c.Spawn(1, "blocked", func(p dsys.Proc) {
+		defer func() { exited = true; wg.Done() }()
+		p.Recv(dsys.MatchKind("never"))
+	})
+	time.Sleep(10 * time.Millisecond)
+	c.Crash(1)
+	waitCh := make(chan struct{})
+	go func() { wg.Wait(); close(waitCh) }()
+	select {
+	case <-waitCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("crashed task did not unwind")
+	}
+	if !exited || !c.Crashed(1) {
+		t.Error("crash state wrong")
+	}
+	c.Stop()
+}
+
+func TestStopUnwindsSleepers(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 1, Network: fastNet()})
+	c.Spawn(1, "sleeper", func(p dsys.Proc) {
+		p.Sleep(time.Hour)
+	})
+	time.Sleep(5 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { c.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not reap the sleeper")
+	}
+}
+
+// The flagship live test: the ring ◇C detector and the paper's consensus
+// algorithm run unchanged on real goroutines, with a crash injected.
+func TestConsensusOverRingDetectorLive(t *testing.T) {
+	n := 5
+	c := live.NewCluster(live.Config{N: n, Network: fastNet(), Trace: trace.NewCollector()})
+	results := make(chan consensus.Result, n)
+	fdOpts := ring.Options{Period: 2 * time.Millisecond}
+	for _, id := range dsys.Pids(n) {
+		id := id
+		c.Spawn(id, "main", func(p dsys.Proc) {
+			det := ring.Start(p, fdOpts)
+			rb := rbcast.Start(p)
+			res := cec.Propose(p, det, rb, "v"+id.String(), consensus.Options{Poll: time.Millisecond})
+			results <- res
+		})
+	}
+	// Crash p4 (a participant) mid-flight.
+	time.Sleep(3 * time.Millisecond)
+	c.Crash(4)
+	var decided []consensus.Result
+	timeout := time.After(20 * time.Second)
+	for len(decided) < n-1 {
+		select {
+		case r := <-results:
+			decided = append(decided, r)
+		case <-timeout:
+			t.Fatalf("only %d of %d correct processes decided", len(decided), n-1)
+		}
+	}
+	for _, r := range decided[1:] {
+		if r.Value != decided[0].Value {
+			t.Fatalf("agreement violated: %v vs %v", r.Value, decided[0].Value)
+		}
+	}
+	c.Stop()
+}
+
+func TestLiveMessageLoss(t *testing.T) {
+	col := trace.NewCollector()
+	c := live.NewCluster(live.Config{
+		N:       2,
+		Network: network.FairLossy{P: 0.5, Under: fastNet()},
+		Seed:    1,
+		Trace:   col,
+	})
+	done := make(chan int, 1)
+	c.Spawn(2, "counter", func(p dsys.Proc) {
+		got := 0
+		for {
+			if _, ok := p.RecvTimeout(dsys.MatchKind("m"), 50*time.Millisecond); ok {
+				got++
+			} else {
+				done <- got
+				return
+			}
+		}
+	})
+	c.Spawn(1, "sender", func(p dsys.Proc) {
+		for i := 0; i < 200; i++ {
+			p.Send(2, "m", i)
+		}
+	})
+	select {
+	case got := <-done:
+		if got == 0 || got == 200 {
+			t.Errorf("delivered %d of 200; loss model inert or total", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out")
+	}
+	c.Stop()
+}

@@ -1,0 +1,36 @@
+package member_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/member"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Four processes maintain agreed membership views; a crash produces the
+// same view transition at every survivor.
+func ExampleStart() {
+	k := sim.New(sim.Config{
+		N:       4,
+		Network: network.PartiallySynchronous{GST: 0, Delta: 5 * time.Millisecond},
+		Seed:    1,
+	})
+	svcs := make(map[dsys.ProcessID]*member.Service)
+	for _, id := range dsys.Pids(4) {
+		id := id
+		k.Spawn(id, "member", func(p dsys.Proc) {
+			svcs[id] = member.Start(p, member.Config{})
+		})
+	}
+	k.CrashAt(2, 200*time.Millisecond)
+	k.Run(3 * time.Second)
+	v := svcs[1].View()
+	fmt.Printf("view %d: %v\n", v.ID, v.Members)
+	fmt.Println("same at p4:", fmt.Sprint(svcs[4].View()) == fmt.Sprint(v))
+	// Output:
+	// view 2: [p1 p3 p4]
+	// same at p4: true
+}

@@ -1,0 +1,177 @@
+package member_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/member"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func cluster(n int, seed int64, net network.Network, cfgOf func(id dsys.ProcessID) member.Config) (*sim.Kernel, map[dsys.ProcessID]*member.Service) {
+	k := sim.New(sim.Config{N: n, Network: net, Seed: seed, Trace: trace.NewCollector()})
+	svcs := make(map[dsys.ProcessID]*member.Service, n)
+	for _, id := range dsys.Pids(n) {
+		id := id
+		k.Spawn(id, "member", func(p dsys.Proc) {
+			cfg := member.Config{}
+			if cfgOf != nil {
+				cfg = cfgOf(id)
+			}
+			svcs[id] = member.Start(p, cfg)
+		})
+	}
+	return k, svcs
+}
+
+func calm() network.Network {
+	return network.PartiallySynchronous{GST: 0, Delta: 5 * time.Millisecond}
+}
+
+func TestStableGroupKeepsFullView(t *testing.T) {
+	k, svcs := cluster(5, 1, calm(), nil)
+	k.Run(2 * time.Second)
+	for _, id := range dsys.Pids(5) {
+		v := svcs[id].View()
+		if v.ID != 1 || len(v.Members) != 5 {
+			t.Errorf("%v ended in view %+v, want the full initial view", id, v)
+		}
+	}
+}
+
+func TestCrashedMemberIsEvictedEverywhere(t *testing.T) {
+	k, svcs := cluster(5, 2, calm(), nil)
+	k.CrashAt(3, 300*time.Millisecond)
+	k.Run(4 * time.Second)
+	for _, id := range []dsys.ProcessID{1, 2, 4, 5} {
+		v := svcs[id].View()
+		if v.ID != 2 || v.Has(3) {
+			t.Errorf("%v view %+v, want view 2 without p3", id, v)
+		}
+	}
+}
+
+func TestMultipleCrashesProduceIdenticalViewSequences(t *testing.T) {
+	k, svcs := cluster(7, 3, calm(), nil)
+	k.CrashAt(2, 200*time.Millisecond)
+	k.CrashAt(6, 600*time.Millisecond)
+	k.Run(5 * time.Second)
+	var ref []member.View
+	for _, id := range []dsys.ProcessID{1, 3, 4, 5, 7} {
+		h := svcs[id].History()
+		if ref == nil {
+			ref = h
+			continue
+		}
+		if !reflect.DeepEqual(h, ref) {
+			t.Fatalf("view histories diverge: %v has %+v, reference %+v", id, h, ref)
+		}
+	}
+	final := ref[len(ref)-1]
+	if final.ID != 3 || final.Has(2) || final.Has(6) || len(final.Members) != 5 {
+		t.Errorf("final view %+v", final)
+	}
+}
+
+func TestVoluntaryLeave(t *testing.T) {
+	k, svcs := cluster(4, 4, calm(), nil)
+	k.ScheduleFunc(200*time.Millisecond, func(time.Duration) {
+		svcs[2].Leave()
+	})
+	k.Run(3 * time.Second)
+	for _, id := range dsys.Pids(4) {
+		v := svcs[id].View()
+		if v.Has(2) || v.ID != 2 {
+			t.Errorf("%v view %+v after voluntary leave", id, v)
+		}
+	}
+}
+
+func TestConcurrentEvictAndLeaveCollapseSafely(t *testing.T) {
+	// p4 leaves voluntarily at the same moment p5 crashes: both transitions
+	// must install, in the same order everywhere, with no duplicates.
+	k, svcs := cluster(5, 5, calm(), nil)
+	k.ScheduleFunc(250*time.Millisecond, func(time.Duration) { svcs[4].Leave() })
+	k.CrashAt(5, 250*time.Millisecond)
+	k.Run(5 * time.Second)
+	var ref []member.View
+	for _, id := range []dsys.ProcessID{1, 2, 3} {
+		h := svcs[id].History()
+		if ref == nil {
+			ref = h
+		} else if !reflect.DeepEqual(h, ref) {
+			t.Fatalf("histories diverge at %v", id)
+		}
+	}
+	final := ref[len(ref)-1]
+	if final.ID != 3 || final.Has(4) || final.Has(5) {
+		t.Errorf("final view %+v", final)
+	}
+	// Each view ID appears exactly once.
+	seen := map[int]bool{}
+	for _, v := range ref {
+		if seen[v.ID] {
+			t.Errorf("duplicate view id %d in %+v", v.ID, ref)
+		}
+		seen[v.ID] = true
+	}
+}
+
+func TestOnViewCallbackOrder(t *testing.T) {
+	var got []string
+	// n=5 so that two crashes stay within f < n/2 and both view changes
+	// can still be decided by the surviving majority.
+	k, svcs := cluster(5, 6, calm(), func(id dsys.ProcessID) member.Config {
+		if id != 1 {
+			return member.Config{}
+		}
+		return member.Config{OnView: func(v member.View) {
+			got = append(got, fmt.Sprintf("view%d:%d-members", v.ID, len(v.Members)))
+		}}
+	})
+	_ = svcs
+	k.CrashAt(3, 200*time.Millisecond)
+	k.CrashAt(4, 700*time.Millisecond)
+	k.Run(4 * time.Second)
+	want := []string{"view2:4-members", "view3:3-members"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("callbacks %v, want %v", got, want)
+	}
+}
+
+func TestTransientSuspicionDoesNotEvict(t *testing.T) {
+	// Pre-GST chaos briefly produces false suspicions, but none should last
+	// the 400ms EvictAfter, so the view must stay full.
+	net := network.PartiallySynchronous{
+		GST:    200 * time.Millisecond,
+		Delta:  5 * time.Millisecond,
+		PreGST: network.Uniform{Min: 0, Max: 50 * time.Millisecond},
+	}
+	k, svcs := cluster(4, 7, net, func(dsys.ProcessID) member.Config {
+		return member.Config{EvictAfter: 400 * time.Millisecond}
+	})
+	k.Run(3 * time.Second)
+	for _, id := range dsys.Pids(4) {
+		if v := svcs[id].View(); v.ID != 1 {
+			t.Errorf("%v advanced to view %+v on transient suspicions", id, v)
+		}
+	}
+}
+
+func TestDeterministicViews(t *testing.T) {
+	run := func() string {
+		k, svcs := cluster(5, 42, calm(), nil)
+		k.CrashAt(2, 150*time.Millisecond)
+		k.CrashAt(4, 400*time.Millisecond)
+		k.Run(4 * time.Second)
+		return fmt.Sprintf("%+v", svcs[1].History())
+	}
+	if run() != run() {
+		t.Error("membership runs diverged under identical seeds")
+	}
+}

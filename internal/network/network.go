@@ -1,0 +1,238 @@
+// Package network models the communication links between processes.
+//
+// The paper's system model assumes every pair of processes is connected by
+// two reliable links (one per direction). Section 4 additionally considers a
+// model of partial synchrony in the style of Dwork–Lynch–Stockmeyer and
+// Chandra–Toueg: after some finite global stabilization time GST every
+// message is delivered within a bound Δ that is unknown to the algorithms,
+// and fair-lossy links that may drop messages but deliver infinitely many of
+// an infinite sequence.
+//
+// A Network is consulted once per sent message and returns the delivery
+// latency or the decision to drop. Implementations must be deterministic
+// functions of their inputs (including the supplied random source), so that
+// simulation runs are reproducible from a seed.
+package network
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/dsys"
+)
+
+// Network decides, for each message, its delivery latency or loss.
+type Network interface {
+	// Plan returns the link latency for a message of the given kind sent at
+	// time now from -> to, or drop=true if the message is lost. rng is the
+	// deterministic source to use for any randomness.
+	Plan(from, to dsys.ProcessID, kind string, now time.Duration, rng *rand.Rand) (delay time.Duration, drop bool)
+}
+
+// Delay produces message latencies. Implementations must only use the
+// supplied random source.
+type Delay interface {
+	Sample(rng *rand.Rand) time.Duration
+}
+
+// Fixed is a constant latency.
+type Fixed time.Duration
+
+// Sample implements Delay.
+func (f Fixed) Sample(*rand.Rand) time.Duration { return time.Duration(f) }
+
+// Uniform samples latencies uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+// Sample implements Delay.
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// Reliable is a lossless network with a latency distribution, the paper's
+// base model of reliable asynchronous links.
+type Reliable struct {
+	Latency Delay
+}
+
+// Plan implements Network.
+func (r Reliable) Plan(_, _ dsys.ProcessID, _ string, _ time.Duration, rng *rand.Rand) (time.Duration, bool) {
+	return r.Latency.Sample(rng), false
+}
+
+// PartiallySynchronous models the GST-style partial synchrony of Section 4:
+// before GST latencies are drawn from PreGST (arbitrary asynchrony, possibly
+// very large); from GST on, every message (including those sent earlier but
+// not yet delivered, which we conservatively approximate by capping delivery
+// at send-time latency) is delivered within Delta.
+type PartiallySynchronous struct {
+	// GST is the global stabilization time.
+	GST time.Duration
+	// Delta bounds the latency of messages sent at or after GST. The bound
+	// is unknown to the algorithms; only the harness knows it.
+	Delta time.Duration
+	// PreGST generates latencies before GST. If nil, Uniform{0, 10*Delta}
+	// is used.
+	PreGST Delay
+	// PreGSTLoss drops messages sent before GST with this probability,
+	// modelling arbitrary pre-GST behaviour. Zero keeps pre-GST reliable.
+	PreGSTLoss float64
+	// Jitter generates post-GST latencies in (0, Delta]. If nil, latencies
+	// are drawn uniformly from [Delta/10, Delta].
+	Jitter Delay
+}
+
+// Plan implements Network.
+func (ps PartiallySynchronous) Plan(_, _ dsys.ProcessID, _ string, now time.Duration, rng *rand.Rand) (time.Duration, bool) {
+	if now < ps.GST {
+		if ps.PreGSTLoss > 0 && rng.Float64() < ps.PreGSTLoss {
+			return 0, true
+		}
+		d := ps.PreGST
+		if d == nil {
+			d = Uniform{0, 10 * ps.Delta}
+		}
+		lat := d.Sample(rng)
+		// A message sent before GST must still be "received and processed"
+		// within Δ of GST in the Chandra–Toueg formulation; enforce that.
+		if now+lat > ps.GST+ps.Delta {
+			lat = ps.GST + ps.Delta - now
+		}
+		return lat, false
+	}
+	j := ps.Jitter
+	if j == nil {
+		j = Uniform{ps.Delta / 10, ps.Delta}
+	}
+	lat := j.Sample(rng)
+	if lat > ps.Delta {
+		lat = ps.Delta
+	}
+	if lat <= 0 {
+		lat = 1
+	}
+	return lat, false
+}
+
+// FairLossy drops each message independently with probability P and
+// otherwise delegates to Under. Because drops are independent with P < 1, an
+// infinite sequence of sends yields infinitely many deliveries — the
+// fairness property required of the leader's output links in Section 4.
+type FairLossy struct {
+	P     float64
+	Under Network
+}
+
+// Plan implements Network.
+func (fl FairLossy) Plan(from, to dsys.ProcessID, kind string, now time.Duration, rng *rand.Rand) (time.Duration, bool) {
+	// Draw the loss decision first so that the number of random variates
+	// consumed per message is fixed, keeping traces comparable across loss
+	// probabilities under the same seed.
+	lost := rng.Float64() < fl.P
+	delay, drop := fl.Under.Plan(from, to, kind, now, rng)
+	return delay, drop || lost
+}
+
+// LinkKey identifies a directed link.
+type LinkKey struct {
+	From, To dsys.ProcessID
+}
+
+// PerLink overrides the network per directed link: messages on a link listed
+// in Links use that network, all others use Default. This expresses the
+// asymmetric requirements of Theorem 1 (partially synchronous input links to
+// the leader, fair-lossy output links from it, no restriction elsewhere).
+type PerLink struct {
+	Default Network
+	Links   map[LinkKey]Network
+}
+
+// Plan implements Network.
+func (pl PerLink) Plan(from, to dsys.ProcessID, kind string, now time.Duration, rng *rand.Rand) (time.Duration, bool) {
+	if n, ok := pl.Links[LinkKey{from, to}]; ok {
+		return n.Plan(from, to, kind, now, rng)
+	}
+	return pl.Default.Plan(from, to, kind, now, rng)
+}
+
+// Partitioned drops all messages crossing between the two process groups
+// during [From, Until), delegating to Under otherwise. Used to exercise
+// detectors under transient partitions (messages inside a group flow
+// normally).
+type Partitioned struct {
+	Under       Network
+	GroupA      map[dsys.ProcessID]bool
+	From, Until time.Duration
+}
+
+// Plan implements Network.
+func (p Partitioned) Plan(from, to dsys.ProcessID, kind string, now time.Duration, rng *rand.Rand) (time.Duration, bool) {
+	if now >= p.From && now < p.Until && p.GroupA[from] != p.GroupA[to] {
+		return 0, true
+	}
+	return p.Under.Plan(from, to, kind, now, rng)
+}
+
+// MultiNetwork is an optional extension of Network for models that can
+// deliver several copies of one message (duplication faults). Runtimes that
+// detect it call PlanCopies instead of Plan; each returned latency yields
+// one delivered copy (an empty slice drops the message entirely).
+type MultiNetwork interface {
+	Network
+	PlanCopies(from, to dsys.ProcessID, kind string, now time.Duration, rng *rand.Rand) []time.Duration
+}
+
+// Duplicating delivers every message at least once (loss is delegated to
+// Under) and, with probability P per extra copy, up to MaxCopies total
+// copies with independent latencies — modelling links that may duplicate.
+// The protocols in this repository are all idempotent against duplicates
+// (deduplication by sender/round or origin/sequence), which the soak tests
+// exercise under this model.
+type Duplicating struct {
+	// P is the probability that an additional copy is produced (applied
+	// repeatedly, so the copy count is geometric, capped by MaxCopies).
+	P float64
+	// MaxCopies caps total copies per message (default 3).
+	MaxCopies int
+	Under     Network
+}
+
+var _ MultiNetwork = Duplicating{}
+
+// Plan implements Network (single-copy view: the first copy).
+func (d Duplicating) Plan(from, to dsys.ProcessID, kind string, now time.Duration, rng *rand.Rand) (time.Duration, bool) {
+	return d.Under.Plan(from, to, kind, now, rng)
+}
+
+// PlanCopies implements MultiNetwork.
+func (d Duplicating) PlanCopies(from, to dsys.ProcessID, kind string, now time.Duration, rng *rand.Rand) []time.Duration {
+	max := d.MaxCopies
+	if max <= 0 {
+		max = 3
+	}
+	lat, drop := d.Under.Plan(from, to, kind, now, rng)
+	if drop {
+		return nil
+	}
+	copies := []time.Duration{lat}
+	for len(copies) < max && rng.Float64() < d.P {
+		extra, drop := d.Under.Plan(from, to, kind, now, rng)
+		if !drop {
+			copies = append(copies, extra)
+		}
+	}
+	return copies
+}
+
+// Func adapts a function to the Network interface.
+type Func func(from, to dsys.ProcessID, kind string, now time.Duration, rng *rand.Rand) (time.Duration, bool)
+
+// Plan implements Network.
+func (f Func) Plan(from, to dsys.ProcessID, kind string, now time.Duration, rng *rand.Rand) (time.Duration, bool) {
+	return f(from, to, kind, now, rng)
+}

@@ -1,0 +1,153 @@
+// Package rbcast implements Reliable Broadcast, the communication primitive
+// the paper's consensus algorithm uses to disseminate the decision (Section
+// 5.2, third task of Fig. 4). It is the classical relay implementation cited
+// from Chandra–Toueg: on R-broadcast the message is sent to every process;
+// on first receipt a process relays it to every other process and only then
+// R-delivers it. Over reliable links this satisfies:
+//
+//	Validity:  if a correct process R-broadcasts m, it R-delivers m.
+//	Agreement: if any correct process R-delivers m, every correct process
+//	           eventually R-delivers m (the relay step makes delivery
+//	           contagious even if the origin crashed mid-broadcast).
+//	Uniform integrity: every process R-delivers m at most once.
+package rbcast
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/dsys"
+)
+
+// Kind is the message kind of reliable-broadcast transport messages (the
+// default, un-namespaced module; see StartNamespace).
+const Kind = "rb.msg"
+
+// Wire is the transport envelope of reliable-broadcast messages. Origin
+// and Seq identify the broadcast. It is exported so transports that need to
+// serialize payloads (package tcpnet) can register it.
+type Wire struct {
+	Origin  dsys.ProcessID
+	Seq     int
+	Payload any
+}
+
+type key struct {
+	origin dsys.ProcessID
+	seq    int
+}
+
+// Handler receives an R-delivered payload. It runs on the module's relay
+// task; p is that task's handle, usable to send notifications.
+type Handler func(p dsys.Proc, origin dsys.ProcessID, payload any)
+
+// Module is the reliable-broadcast module of one process. One module per
+// process serves any number of broadcast users (e.g. successive consensus
+// instances).
+type Module struct {
+	self dsys.ProcessID
+	all  []dsys.ProcessID
+	kind string
+
+	mu        sync.Mutex
+	seq       int
+	delivered map[key]bool
+	handlers  map[int]Handler
+	nextH     int
+}
+
+// Start attaches a reliable-broadcast module to p's process, using the
+// default message kind. At most one module per process may use a given
+// namespace: modules sharing a kind would compete for the same messages.
+func Start(p dsys.Proc) *Module { return StartNamespace(p, "") }
+
+// StartNamespace attaches a module whose transport messages carry a
+// namespaced kind, so several independent broadcast domains (e.g. two
+// replicated logs) can coexist on the same processes. All processes of a
+// domain must use the same namespace.
+func StartNamespace(p dsys.Proc, ns string) *Module {
+	kind := Kind
+	if ns != "" {
+		kind += "/" + ns
+	}
+	m := &Module{
+		self:      p.ID(),
+		all:       p.All(),
+		kind:      kind,
+		delivered: make(map[key]bool),
+		handlers:  make(map[int]Handler),
+	}
+	p.Spawn("rb-relay", m.relayTask)
+	return m
+}
+
+// OnDeliver registers a delivery handler and returns a function that
+// unregisters it. Handlers registered after a payload was delivered do not
+// see past deliveries.
+func (m *Module) OnDeliver(fn Handler) (cancel func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextH
+	m.nextH++
+	m.handlers[id] = fn
+	return func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		delete(m.handlers, id)
+	}
+}
+
+// Broadcast R-broadcasts payload from this process. p must be a task handle
+// of the same process. Delivery to the local process happens through the
+// regular receive path, like everyone else's.
+func (m *Module) Broadcast(p dsys.Proc, payload any) {
+	if p.ID() != m.self {
+		panic("rbcast: Broadcast called with a foreign task handle")
+	}
+	m.mu.Lock()
+	m.seq++
+	w := Wire{Origin: m.self, Seq: m.seq, Payload: payload}
+	m.mu.Unlock()
+	for _, q := range m.all {
+		p.Send(q, m.kind, w)
+	}
+}
+
+func (m *Module) relayTask(p dsys.Proc) {
+	for {
+		msg, ok := p.Recv(dsys.MatchKind(m.kind))
+		if !ok {
+			return
+		}
+		w := msg.Payload.(Wire)
+		k := key{w.Origin, w.Seq}
+		m.mu.Lock()
+		if m.delivered[k] {
+			m.mu.Unlock()
+			continue
+		}
+		m.delivered[k] = true
+		// Snapshot handlers in registration order so delivery callbacks run
+		// deterministically.
+		ids := make([]int, 0, len(m.handlers))
+		for id := range m.handlers {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		hs := make([]Handler, 0, len(ids))
+		for _, id := range ids {
+			hs = append(hs, m.handlers[id])
+		}
+		m.mu.Unlock()
+		// Relay before delivering: if this process crashes right after
+		// acting on the message, everyone else still receives it.
+		for _, q := range m.all {
+			if q != m.self && q != msg.From {
+				p.Send(q, m.kind, w)
+			}
+		}
+		for _, h := range hs {
+			h(p, w.Origin, w.Payload)
+		}
+	}
+}

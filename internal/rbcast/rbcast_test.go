@@ -1,0 +1,200 @@
+package rbcast_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/network"
+	"repro/internal/rbcast"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+type delivery struct {
+	at      dsys.ProcessID // where
+	origin  dsys.ProcessID
+	payload any
+}
+
+type deliveryLog struct {
+	mu  sync.Mutex
+	all []delivery
+}
+
+func (l *deliveryLog) add(d delivery) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.all = append(l.all, d)
+}
+
+func (l *deliveryLog) at(id dsys.ProcessID) []delivery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []delivery
+	for _, d := range l.all {
+		if d.at == id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// setup wires n processes with rbcast modules and a delivery log; act runs
+// on process 1 after a short delay.
+func setup(n int, seed int64, net network.Network, log *deliveryLog, acts map[dsys.ProcessID]func(p dsys.Proc, m *rbcast.Module)) *sim.Kernel {
+	k := sim.New(sim.Config{N: n, Network: net, Seed: seed, Trace: trace.NewCollector()})
+	for _, id := range dsys.Pids(n) {
+		id := id
+		k.Spawn(id, "rb-setup", func(p dsys.Proc) {
+			m := rbcast.Start(p)
+			m.OnDeliver(func(p dsys.Proc, origin dsys.ProcessID, payload any) {
+				log.add(delivery{at: p.ID(), origin: origin, payload: payload})
+			})
+			if act := acts[id]; act != nil {
+				act(p, m)
+			}
+		})
+	}
+	return k
+}
+
+func reliable() network.Network {
+	return network.Reliable{Latency: network.Fixed(time.Millisecond)}
+}
+
+func TestBroadcastReachesEveryoneIncludingSelf(t *testing.T) {
+	log := &deliveryLog{}
+	k := setup(4, 1, reliable(), log, map[dsys.ProcessID]func(dsys.Proc, *rbcast.Module){
+		1: func(p dsys.Proc, m *rbcast.Module) { m.Broadcast(p, "hello") },
+	})
+	k.Run(time.Second)
+	for _, id := range dsys.Pids(4) {
+		ds := log.at(id)
+		if len(ds) != 1 || ds[0].payload != "hello" || ds[0].origin != 1 {
+			t.Errorf("%v deliveries: %+v", id, ds)
+		}
+	}
+}
+
+func TestUniformIntegrityNoDuplicateDeliveries(t *testing.T) {
+	log := &deliveryLog{}
+	k := setup(5, 2, reliable(), log, map[dsys.ProcessID]func(dsys.Proc, *rbcast.Module){
+		1: func(p dsys.Proc, m *rbcast.Module) {
+			for i := 0; i < 10; i++ {
+				m.Broadcast(p, i)
+			}
+		},
+		3: func(p dsys.Proc, m *rbcast.Module) {
+			m.Broadcast(p, "from-3")
+		},
+	})
+	k.Run(time.Second)
+	for _, id := range dsys.Pids(5) {
+		seen := map[string]int{}
+		for _, d := range log.at(id) {
+			seen[fmt.Sprint(d.origin, "/", d.payload)]++
+		}
+		if len(seen) != 11 {
+			t.Errorf("%v delivered %d distinct messages, want 11", id, len(seen))
+		}
+		for k, c := range seen {
+			if c != 1 {
+				t.Errorf("%v delivered %s %d times", id, k, c)
+			}
+		}
+	}
+}
+
+func TestAgreementWhenOriginCrashesMidBroadcast(t *testing.T) {
+	// The origin sends to only a subset before crashing (modeled by
+	// per-link loss of its remaining sends): whoever received it must relay
+	// so that every correct process delivers.
+	net := network.PerLink{
+		Default: reliable(),
+		Links: map[network.LinkKey]network.Network{
+			// Origin p1's messages to p3, p4, p5 are all lost — as if p1
+			// crashed after reaching only p2.
+			{From: 1, To: 3}: network.FairLossy{P: 1.0, Under: reliable()},
+			{From: 1, To: 4}: network.FairLossy{P: 1.0, Under: reliable()},
+			{From: 1, To: 5}: network.FairLossy{P: 1.0, Under: reliable()},
+		},
+	}
+	log := &deliveryLog{}
+	k := setup(5, 3, net, log, map[dsys.ProcessID]func(dsys.Proc, *rbcast.Module){
+		1: func(p dsys.Proc, m *rbcast.Module) { m.Broadcast(p, "contagious") },
+	})
+	k.CrashAt(1, 5*time.Millisecond)
+	k.Run(time.Second)
+	for _, id := range []dsys.ProcessID{2, 3, 4, 5} {
+		if ds := log.at(id); len(ds) != 1 {
+			t.Errorf("%v delivered %d times, want 1 (via relay)", id, len(ds))
+		}
+	}
+}
+
+func TestHandlerCancellation(t *testing.T) {
+	log := &deliveryLog{}
+	var cancels []func()
+	k := setup(3, 4, reliable(), log, map[dsys.ProcessID]func(dsys.Proc, *rbcast.Module){
+		2: func(p dsys.Proc, m *rbcast.Module) {
+			// A second handler that must never fire once cancelled.
+			cancel := m.OnDeliver(func(p dsys.Proc, origin dsys.ProcessID, payload any) {
+				t.Errorf("cancelled handler fired with %v", payload)
+			})
+			cancels = append(cancels, cancel)
+			cancel()
+		},
+		1: func(p dsys.Proc, m *rbcast.Module) {
+			p.Sleep(10 * time.Millisecond)
+			m.Broadcast(p, "late")
+		},
+	})
+	k.Run(time.Second)
+	if len(log.at(2)) != 1 {
+		t.Error("base handler should still deliver")
+	}
+}
+
+func TestManyOriginsInterleaved(t *testing.T) {
+	log := &deliveryLog{}
+	acts := map[dsys.ProcessID]func(dsys.Proc, *rbcast.Module){}
+	n := 6
+	for _, id := range dsys.Pids(n) {
+		id := id
+		acts[id] = func(p dsys.Proc, m *rbcast.Module) {
+			for i := 0; i < 5; i++ {
+				m.Broadcast(p, fmt.Sprintf("%v-%d", id, i))
+				p.Sleep(time.Duration(1+int(id)) * time.Millisecond)
+			}
+		}
+	}
+	k := setup(n, 5, network.Reliable{Latency: network.Uniform{Min: time.Millisecond, Max: 10 * time.Millisecond}}, log, acts)
+	k.Run(time.Second)
+	for _, id := range dsys.Pids(n) {
+		if got := len(log.at(id)); got != n*5 {
+			t.Errorf("%v delivered %d, want %d", id, got, n*5)
+		}
+	}
+}
+
+func TestForeignHandlePanics(t *testing.T) {
+	k := sim.New(sim.Config{N: 2, Network: reliable(), Seed: 6})
+	var m1 *rbcast.Module
+	k.Spawn(1, "a", func(p dsys.Proc) {
+		m1 = rbcast.Start(p)
+		p.Sleep(time.Hour)
+	})
+	k.Spawn(2, "b", func(p dsys.Proc) {
+		p.Sleep(time.Millisecond)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for foreign task handle")
+			}
+		}()
+		m1.Broadcast(p, "bad")
+	})
+	k.Run(10 * time.Millisecond)
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/network"
+)
+
+func TestRunTwicePanics(t *testing.T) {
+	k := New(reliableCfg(1, 1))
+	k.Spawn(1, "noop", func(p dsys.Proc) {})
+	k.Run(time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run should panic")
+		}
+	}()
+	k.Run(time.Millisecond)
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	cases := []Config{
+		{N: 0, Network: network.Reliable{Latency: network.Fixed(0)}},
+		{N: 2, Network: nil},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: New should panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestSendToInvalidProcessPanics(t *testing.T) {
+	k := New(reliableCfg(2, 1))
+	k.Spawn(1, "bad", func(p dsys.Proc) {
+		p.Send(99, "x", nil)
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for invalid destination")
+		}
+	}()
+	k.Run(time.Second)
+}
+
+func TestEveryWithBadPeriodPanics(t *testing.T) {
+	k := New(reliableCfg(1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("Every with zero period should panic")
+		}
+	}()
+	k.Every(0, 0, func(time.Duration) {})
+}
+
+func TestCrashAlreadyCrashedIsNoop(t *testing.T) {
+	k := New(reliableCfg(2, 1))
+	k.Spawn(1, "idle", func(p dsys.Proc) { p.Sleep(time.Hour) })
+	k.Spawn(2, "idle", func(p dsys.Proc) { p.Sleep(time.Hour) })
+	k.CrashAt(1, time.Millisecond)
+	k.CrashAt(1, 2*time.Millisecond) // double crash
+	k.Run(10 * time.Millisecond)
+	if !k.Crashed(1) || k.Crashed(2) {
+		t.Error("crash state wrong")
+	}
+}
+
+func TestNestedSpawnsUnwindOnCrash(t *testing.T) {
+	k := New(reliableCfg(1, 1))
+	defersRun := 0
+	k.Spawn(1, "root", func(p dsys.Proc) {
+		defer func() { defersRun++ }()
+		p.Spawn("child", func(p dsys.Proc) {
+			defer func() { defersRun++ }()
+			p.Spawn("grandchild", func(p dsys.Proc) {
+				defer func() { defersRun++ }()
+				p.Sleep(time.Hour)
+			})
+			p.Sleep(time.Hour)
+		})
+		p.Sleep(time.Hour)
+	})
+	k.CrashAt(1, 5*time.Millisecond)
+	k.Run(20 * time.Millisecond)
+	if defersRun != 3 {
+		t.Errorf("defersRun = %d, want 3 (all nested tasks unwound)", defersRun)
+	}
+}
+
+func TestSpawnFromHarnessDuringRun(t *testing.T) {
+	k := New(reliableCfg(2, 1))
+	got := false
+	k.Spawn(2, "recv", func(p dsys.Proc) {
+		if _, ok := p.Recv(dsys.MatchKind("late")); ok {
+			got = true
+		}
+	})
+	k.ScheduleFunc(10*time.Millisecond, func(time.Duration) {
+		k.Spawn(1, "late-task", func(p dsys.Proc) {
+			p.Send(2, "late", nil)
+		})
+	})
+	k.Run(time.Second)
+	if !got {
+		t.Error("task spawned mid-run did not execute")
+	}
+}
+
+func TestMessagesPreserveFIFOPerLinkWithFixedLatency(t *testing.T) {
+	// With constant latency, messages on one link arrive in send order.
+	k := New(reliableCfg(2, 1))
+	var got []int
+	k.Spawn(1, "s", func(p dsys.Proc) {
+		for i := 0; i < 50; i++ {
+			p.Send(2, "seq", i)
+		}
+	})
+	k.Spawn(2, "r", func(p dsys.Proc) {
+		for len(got) < 50 {
+			m, _ := p.Recv(dsys.MatchKind("seq"))
+			got = append(got, m.Payload.(int))
+		}
+	})
+	k.Run(time.Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reorder at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestReorderingUnderVariableLatency(t *testing.T) {
+	// With variable latency the simulator must allow reordering — the
+	// asynchronous model the paper assumes.
+	cfg := Config{
+		N:       2,
+		Network: network.Reliable{Latency: network.Uniform{Min: time.Millisecond, Max: 50 * time.Millisecond}},
+		Seed:    3,
+	}
+	k := New(cfg)
+	var got []int
+	k.Spawn(1, "s", func(p dsys.Proc) {
+		for i := 0; i < 100; i++ {
+			p.Send(2, "seq", i)
+			p.Sleep(time.Millisecond)
+		}
+	})
+	k.Spawn(2, "r", func(p dsys.Proc) {
+		for len(got) < 100 {
+			m, _ := p.Recv(dsys.MatchKind("seq"))
+			got = append(got, m.Payload.(int))
+		}
+	})
+	k.Run(5 * time.Second)
+	inOrder := true
+	for i, v := range got {
+		if v != i {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Error("no reordering under 50x latency variance — suspicious")
+	}
+}
+
+func TestManyProcessesScale(t *testing.T) {
+	// 128 processes gossiping: a smoke test that the kernel scales.
+	n := 128
+	k := New(Config{N: n, Network: network.Reliable{Latency: network.Fixed(time.Millisecond)}, Seed: 1})
+	delivered := 0
+	for _, id := range dsys.Pids(n) {
+		id := id
+		k.Spawn(id, "node", func(p dsys.Proc) {
+			p.Spawn("recv", func(p dsys.Proc) {
+				for {
+					if _, ok := p.Recv(dsys.MatchAny); ok {
+						delivered++
+					}
+				}
+			})
+			next := dsys.ProcessID(int(id)%n + 1)
+			for i := 0; i < 10; i++ {
+				p.Send(next, "g", i)
+				p.Sleep(5 * time.Millisecond)
+			}
+		})
+	}
+	k.Run(time.Second)
+	if delivered != n*10 {
+		t.Errorf("delivered %d, want %d", delivered, n*10)
+	}
+}
+
+func TestVirtualTimeUnaffectedByWallClock(t *testing.T) {
+	// A heavy computation inside a task consumes no virtual time.
+	k := New(reliableCfg(1, 1))
+	var at time.Duration
+	k.Spawn(1, "heavy", func(p dsys.Proc) {
+		sum := 0
+		for i := 0; i < 1_000_000; i++ {
+			sum += i
+		}
+		_ = sum
+		at = p.Now()
+	})
+	k.Run(time.Second)
+	if at != 0 {
+		t.Errorf("virtual time advanced to %v during pure computation", at)
+	}
+}
+
+func TestLogfGoesToConfiguredWriter(t *testing.T) {
+	var buf logBuffer
+	cfg := reliableCfg(1, 1)
+	cfg.Log = &buf
+	k := New(cfg)
+	k.Spawn(1, "logger", func(p dsys.Proc) {
+		p.Logf("hello %d", 42)
+	})
+	k.Run(time.Millisecond)
+	if got := buf.String(); got == "" || !contains(got, "hello 42") || !contains(got, "p1/logger") {
+		t.Errorf("log output %q", got)
+	}
+}
+
+type logBuffer struct{ s string }
+
+func (b *logBuffer) Write(p []byte) (int, error) { b.s += string(p); return len(p), nil }
+func (b *logBuffer) String() string              { return b.s }
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,68 @@
+package sim
+
+import "time"
+
+// event is a scheduled kernel action: a message delivery, a timer wake-up, a
+// crash, or a harness hook. Events fire in (at, seq) order, so simultaneous
+// events fire in scheduling order, which keeps runs deterministic.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap of events ordered by (at, seq). It is
+// implemented directly (rather than via container/heap) to avoid interface
+// boxing on the simulator's hottest path.
+type eventHeap struct {
+	es []event
+}
+
+func (h *eventHeap) Len() int { return len(h.es) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.es[i].at != h.es[j].at {
+		return h.es[i].at < h.es[j].at
+	}
+	return h.es[i].seq < h.es[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.es[i], h.es[parent] = h.es[parent], h.es[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) peek() event { return h.es[0] }
+
+func (h *eventHeap) pop() event {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es[last] = event{} // release closure
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.es) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.es) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.es[i], h.es[smallest] = h.es[smallest], h.es[i]
+		i = smallest
+	}
+	return top
+}

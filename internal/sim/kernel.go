@@ -1,0 +1,279 @@
+// Package sim is a deterministic discrete-event simulator for asynchronous
+// message-passing distributed algorithms.
+//
+// Algorithms are written in the blocking style of the paper's pseudo-code
+// ("wait until ...") as tasks — ordinary Go functions blocking in the
+// primitives of dsys.Proc. The kernel runs every task as a goroutine but
+// schedules them cooperatively: exactly one task runs at a time, control
+// switches only inside kernel primitives, simultaneous events fire in
+// scheduling order, and all randomness flows from a single seed. Two runs
+// with the same configuration are therefore bit-identical, which makes the
+// experiments in EXPERIMENTS.md reproducible and the property tests exact.
+//
+// Virtual time is a time.Duration since the start of the run. Timers,
+// message latencies and crashes are events in a priority queue; when no task
+// is runnable the clock jumps to the next event.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/network"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// N is the number of processes (p1..pN).
+	N int
+	// Network models link latency and loss. Required.
+	Network network.Network
+	// Seed drives all randomness in the run.
+	Seed int64
+	// SelfDelay is the latency of a process sending to itself (default 0;
+	// self-sends never traverse the Network).
+	SelfDelay time.Duration
+	// Trace receives message and crash events. Optional.
+	Trace *trace.Collector
+	// Log receives task debug output (Proc.Logf). Optional.
+	Log io.Writer
+}
+
+// Kernel is the simulation engine. Create with New, add initial tasks with
+// Spawn, inject faults with CrashAt, then call Run. Kernel is not safe for
+// concurrent use; everything happens on the caller's goroutine plus the
+// cooperative task goroutines.
+type Kernel struct {
+	cfg    Config
+	now    time.Duration
+	seq    uint64
+	taskID int
+	eq     eventHeap
+	runq   []*task
+	bell   chan struct{}
+	procs  []*proc
+	pids   []dsys.ProcessID
+	netRNG *rand.Rand
+	// stopping marks the final unwind phase; primitives refuse to block and
+	// sends become no-ops.
+	stopping bool
+	ran      bool
+	fatal    error
+}
+
+// New creates a kernel for cfg.
+func New(cfg Config) *Kernel {
+	if cfg.N < 1 {
+		panic("sim: Config.N must be at least 1")
+	}
+	if cfg.Network == nil {
+		panic("sim: Config.Network is required")
+	}
+	k := &Kernel{
+		cfg:    cfg,
+		bell:   make(chan struct{}),
+		pids:   dsys.Pids(cfg.N),
+		netRNG: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	k.procs = make([]*proc, cfg.N)
+	for i := range k.procs {
+		k.procs[i] = &proc{
+			k:   k,
+			id:  dsys.ProcessID(i + 1),
+			rng: rand.New(rand.NewSource(cfg.Seed ^ int64(0x9e3779b97f4a7c15*uint64(i+1)))),
+		}
+	}
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// N returns the number of processes.
+func (k *Kernel) N() int { return k.cfg.N }
+
+// Spawn adds a task to process id. It may be called before Run (initial
+// tasks) or from harness hooks during the run.
+func (k *Kernel) Spawn(id dsys.ProcessID, name string, fn dsys.TaskFunc) {
+	k.spawn(k.procAt(id), name, fn)
+}
+
+func (k *Kernel) spawn(p *proc, name string, fn dsys.TaskFunc) {
+	if k.stopping || p.crashed {
+		return
+	}
+	k.taskID++
+	t := &task{id: k.taskID, name: name, p: p, resume: make(chan struct{}), state: taskRunnable}
+	p.tasks = append(p.tasks, t)
+	k.runq = append(k.runq, t)
+	t.start(fn)
+}
+
+// CrashAt schedules a permanent crash of process id at time at. All tasks of
+// the process are unwound, in-flight messages to it are discarded on
+// arrival, and it never sends again. Crashing an already-crashed process is
+// a no-op.
+func (k *Kernel) CrashAt(id dsys.ProcessID, at time.Duration) {
+	p := k.procAt(id)
+	k.scheduleEvent(at, func() { k.crash(p) })
+}
+
+// ScheduleFunc runs fn on the kernel at virtual time at. fn must not block;
+// it is intended for harness hooks such as sampling detector output or
+// injecting load. fn runs before any task scheduled at the same instant.
+func (k *Kernel) ScheduleFunc(at time.Duration, fn func(now time.Duration)) {
+	k.scheduleEvent(at, func() { fn(k.now) })
+}
+
+// Every runs fn at start, start+period, start+2·period, ... for the rest of
+// the run.
+func (k *Kernel) Every(start, period time.Duration, fn func(now time.Duration)) {
+	if period <= 0 {
+		panic("sim: Every period must be positive")
+	}
+	var tick func()
+	next := start
+	tick = func() {
+		fn(k.now)
+		next += period
+		k.scheduleEvent(next, tick)
+	}
+	k.scheduleEvent(start, tick)
+}
+
+// Crashed reports whether process id has crashed.
+func (k *Kernel) Crashed(id dsys.ProcessID) bool { return k.procAt(id).crashed }
+
+// Correct returns the processes that have not crashed (so far).
+func (k *Kernel) Correct() []dsys.ProcessID {
+	var out []dsys.ProcessID
+	for _, p := range k.procs {
+		if !p.crashed {
+			out = append(out, p.id)
+		}
+	}
+	return out
+}
+
+// Run executes the simulation until virtual time `until`, until no event or
+// runnable task remains (quiescence), or until a task panics — in which case
+// Run re-panics with the task's stack. Run then unwinds every remaining task
+// and returns the final virtual time. Run may be called only once.
+func (k *Kernel) Run(until time.Duration) time.Duration {
+	if k.ran {
+		panic("sim: Run called twice")
+	}
+	k.ran = true
+	for k.fatal == nil {
+		if len(k.runq) > 0 {
+			t := k.runq[0]
+			k.runq = k.runq[1:]
+			if t.state != taskRunnable {
+				continue
+			}
+			k.runTask(t)
+			continue
+		}
+		if k.eq.Len() == 0 {
+			break // quiescent
+		}
+		next := k.eq.peek().at
+		if next > until {
+			k.now = until
+			break
+		}
+		ev := k.eq.pop()
+		if ev.at > k.now {
+			k.now = ev.at
+		}
+		ev.fn()
+	}
+	k.unwindAll()
+	if k.fatal != nil {
+		panic(k.fatal)
+	}
+	return k.now
+}
+
+func (k *Kernel) runTask(t *task) {
+	t.state = taskRunning
+	t.resume <- struct{}{}
+	<-k.bell
+}
+
+func (k *Kernel) scheduleEvent(at time.Duration, fn func()) {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	k.eq.push(event{at: at, seq: k.seq, fn: fn})
+}
+
+func (k *Kernel) wake(t *task) {
+	t.state = taskRunnable
+	t.match = nil
+	k.runq = append(k.runq, t)
+}
+
+// deliver hands a message to its destination: directly to the first parked
+// task whose predicate matches, otherwise into the process buffer.
+func (k *Kernel) deliver(m *dsys.Message) {
+	p := k.procAt(m.To)
+	if p.crashed {
+		return
+	}
+	k.cfg.Trace.OnDeliver(m)
+	for _, t := range p.tasks {
+		if t.state == taskParked && t.match != nil && t.match(m) {
+			t.wakeMsg = m
+			k.wake(t)
+			return
+		}
+	}
+	p.buf = append(p.buf, m)
+}
+
+func (k *Kernel) crash(p *proc) {
+	if p.crashed {
+		return
+	}
+	p.crashed = true
+	p.buf = nil
+	k.cfg.Trace.OnCrash(p.id, k.now)
+	for _, t := range p.tasks {
+		k.unwindTask(t, unwindCrash)
+	}
+}
+
+func (k *Kernel) unwindTask(t *task, kind unwindKind) {
+	switch t.state {
+	case taskDone:
+		return
+	case taskRunning:
+		panic("sim: unwinding a running task")
+	}
+	t.unwind = kind
+	t.state = taskRunning
+	t.resume <- struct{}{}
+	<-k.bell
+}
+
+func (k *Kernel) unwindAll() {
+	k.stopping = true
+	for _, p := range k.procs {
+		for i := 0; i < len(p.tasks); i++ { // tasks cannot grow while stopping
+			k.unwindTask(p.tasks[i], unwindStop)
+		}
+	}
+}
+
+func (k *Kernel) procAt(id dsys.ProcessID) *proc {
+	if id < 1 || int(id) > len(k.procs) {
+		panic(fmt.Sprintf("sim: invalid process id %v", id))
+	}
+	return k.procs[id-1]
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/network"
+)
+
+type taskState uint8
+
+const (
+	taskRunnable taskState = iota
+	taskRunning
+	taskParked
+	taskDone
+)
+
+type unwindKind uint8
+
+const (
+	unwindNone unwindKind = iota
+	unwindCrash
+	unwindStop
+)
+
+// unwindPanic is thrown inside blocking primitives to unwind a task when its
+// process crashes or the run stops. It never escapes the task wrapper.
+type unwindPanic struct{ kind unwindKind }
+
+// task is one cooperative thread of a simulated process. Exactly one task in
+// the whole kernel runs at a time; switches happen only inside kernel
+// primitives, so runs are deterministic.
+type task struct {
+	id   int
+	name string
+	p    *proc
+
+	resume chan struct{}
+	state  taskState
+	unwind unwindKind
+
+	// Park bookkeeping. parkGen distinguishes park sessions so a stale
+	// timer cannot wake a later park.
+	parkGen     uint64
+	match       dsys.MatchFunc
+	wakeMsg     *dsys.Message
+	wakeTimeout bool
+}
+
+// proc is the simulator's view of one process.
+type proc struct {
+	k       *Kernel
+	id      dsys.ProcessID
+	rng     *rand.Rand
+	buf     []*dsys.Message // received messages no task has matched yet
+	tasks   []*task         // in creation order
+	crashed bool
+}
+
+// takeMatch removes and returns the first buffered message satisfying match.
+func (p *proc) takeMatch(match dsys.MatchFunc) *dsys.Message {
+	for i, m := range p.buf {
+		if match(m) {
+			p.buf = append(p.buf[:i], p.buf[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// taskView is the dsys.Proc handle given to a task. Each task gets its own
+// view so blocking primitives know which task is calling.
+type taskView struct {
+	t *task
+}
+
+var _ dsys.Proc = taskView{}
+
+func (v taskView) ID() dsys.ProcessID    { return v.t.p.id }
+func (v taskView) N() int                { return len(v.t.p.k.procs) }
+func (v taskView) All() []dsys.ProcessID { return v.t.p.k.pids }
+func (v taskView) Now() time.Duration    { return v.t.p.k.now }
+func (v taskView) Rand() *rand.Rand      { return v.t.p.rng }
+
+func (v taskView) Send(to dsys.ProcessID, kind string, payload any) {
+	t := v.t
+	p := t.p
+	k := p.k
+	if t.unwind != unwindNone || p.crashed || k.stopping {
+		return
+	}
+	if to < 1 || int(to) > len(k.procs) {
+		panic(fmt.Sprintf("sim: %v sent %q to invalid process %v", p.id, kind, to))
+	}
+	m := &dsys.Message{From: p.id, To: to, Kind: kind, Payload: payload, SentAt: k.now}
+	if to == p.id {
+		k.cfg.Trace.OnSend(m, false)
+		k.scheduleEvent(k.now+k.cfg.SelfDelay, func() { k.deliver(m) })
+		return
+	}
+	// Networks supporting duplication deliver one copy per planned latency.
+	if mn, ok := k.cfg.Network.(network.MultiNetwork); ok {
+		copies := mn.PlanCopies(p.id, to, kind, k.now, k.netRNG)
+		k.cfg.Trace.OnSend(m, len(copies) == 0)
+		for _, delay := range copies {
+			if delay < 0 {
+				delay = 0
+			}
+			k.scheduleEvent(k.now+delay, func() { k.deliver(m) })
+		}
+		return
+	}
+	delay, drop := k.cfg.Network.Plan(p.id, to, kind, k.now, k.netRNG)
+	k.cfg.Trace.OnSend(m, drop)
+	if drop {
+		return
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	k.scheduleEvent(k.now+delay, func() { k.deliver(m) })
+}
+
+func (v taskView) Recv(match dsys.MatchFunc) (*dsys.Message, bool) {
+	t := v.t
+	t.checkUnwind()
+	if m := t.p.takeMatch(match); m != nil {
+		return m, true
+	}
+	t.parkGen++
+	t.match = match
+	t.park()
+	m := t.wakeMsg
+	t.wakeMsg = nil
+	return m, m != nil
+}
+
+func (v taskView) RecvTimeout(match dsys.MatchFunc, d time.Duration) (*dsys.Message, bool) {
+	t := v.t
+	t.checkUnwind()
+	if m := t.p.takeMatch(match); m != nil {
+		return m, true
+	}
+	if d <= 0 {
+		return nil, false
+	}
+	k := t.p.k
+	t.parkGen++
+	gen := t.parkGen
+	t.match = match
+	k.scheduleEvent(k.now+d, func() {
+		if t.state == taskParked && t.parkGen == gen {
+			t.wakeTimeout = true
+			k.wake(t)
+		}
+	})
+	t.park()
+	m := t.wakeMsg
+	t.wakeMsg = nil
+	t.wakeTimeout = false
+	return m, m != nil
+}
+
+func (v taskView) Sleep(d time.Duration) {
+	t := v.t
+	t.checkUnwind()
+	if d <= 0 {
+		d = 1 // always yield so busy loops cannot stall virtual time
+	}
+	k := t.p.k
+	t.parkGen++
+	gen := t.parkGen
+	k.scheduleEvent(k.now+d, func() {
+		if t.state == taskParked && t.parkGen == gen {
+			k.wake(t)
+		}
+	})
+	t.park()
+}
+
+func (v taskView) Spawn(name string, fn dsys.TaskFunc) {
+	t := v.t
+	t.checkUnwind()
+	t.p.k.spawn(t.p, name, fn)
+}
+
+func (v taskView) Logf(format string, args ...any) {
+	t := v.t
+	k := t.p.k
+	if k.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(k.cfg.Log, "%10v %v/%s: %s\n", k.now, t.p.id, t.name, fmt.Sprintf(format, args...))
+}
+
+// checkUnwind aborts the task if it is being unwound; it protects against
+// blocking primitives called from deferred functions during unwinding.
+func (t *task) checkUnwind() {
+	if t.unwind != unwindNone || t.p.k.stopping {
+		panic(unwindPanic{unwindStop})
+	}
+}
+
+// park hands control back to the kernel until the task is woken. On resume
+// it converts a pending unwind into a panic that the task wrapper recovers.
+func (t *task) park() {
+	t.state = taskParked
+	t.p.k.bell <- struct{}{}
+	<-t.resume
+	if t.unwind != unwindNone {
+		panic(unwindPanic{t.unwind})
+	}
+}
+
+// start launches the task goroutine. The goroutine waits for its first
+// scheduling before running fn, and always rings the kernel bell exactly once
+// when it finishes (normally, by unwind, or by user panic).
+func (t *task) start(fn dsys.TaskFunc) {
+	go func() {
+		<-t.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(unwindPanic); !ok {
+					// A real bug in algorithm code: surface it on the kernel
+					// goroutine with the original stack attached.
+					t.p.k.fatal = fmt.Errorf("sim: task %v/%s panicked: %v\n%s", t.p.id, t.name, r, debug.Stack())
+				}
+			}
+			t.state = taskDone
+			t.match = nil
+			t.p.k.bell <- struct{}{}
+		}()
+		if t.unwind != unwindNone {
+			return
+		}
+		fn(taskView{t})
+	}()
+}

@@ -1,0 +1,269 @@
+// Package tcpnet runs a live cluster over real TCP connections: every
+// process gets a loopback listener, peers dial a full mesh lazily, and
+// messages travel gob-encoded through the operating system's network stack.
+// It is the most "production-shaped" substrate in the repository — the
+// detectors and consensus algorithms run on it unchanged, with real sockets
+// providing the asynchrony.
+//
+// Payloads are encoded with encoding/gob. The concrete payload types of
+// every protocol in this repository are pre-registered; applications sending
+// their own payload types must call Register first.
+package tcpnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/mrc"
+	"repro/internal/core"
+	"repro/internal/dsys"
+	"repro/internal/fd/omega"
+	"repro/internal/live"
+	"repro/internal/rbcast"
+	"repro/internal/trace"
+)
+
+func init() {
+	// Wire payloads of every protocol package.
+	gob.Register(consensus.Msg{})
+	gob.Register(consensus.Decide{})
+	gob.Register(rbcast.Wire{})
+	gob.Register(&omega.BeatPayload{})
+	gob.Register(mrc.LdrInfo{})
+	gob.Register(core.Kick{})
+	gob.Register(core.Command{})
+	gob.Register([]dsys.ProcessID(nil))
+	gob.Register([]uint32(nil))
+	gob.Register([]uint64(nil))
+}
+
+// Register makes a payload type known to the transport's encoder, like
+// gob.Register. Call it for application payload types before Spawn.
+func Register(v any) { gob.Register(v) }
+
+// frame is the on-wire representation of one message.
+type frame struct {
+	From, To dsys.ProcessID
+	Kind     string
+	Payload  any
+}
+
+// Config parameterizes a TCP mesh.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Trace receives message and crash events. Optional.
+	Trace *trace.Collector
+	// Log receives task debug output. Optional.
+	Log io.Writer
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+}
+
+// Mesh is a live cluster whose messages flow over TCP loopback.
+type Mesh struct {
+	cfg       Config
+	cluster   *live.Cluster
+	listeners []net.Listener
+	addrs     []string
+
+	mu      sync.Mutex
+	out     map[dsys.ProcessID]*peerConn // outbound conns by destination
+	crashed map[dsys.ProcessID]bool
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// New builds the mesh: one loopback listener per process, accept loops
+// running. Processes are added with Spawn, exactly as with live.Cluster.
+func New(cfg Config) (*Mesh, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("tcpnet: N must be at least 1")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	m := &Mesh{
+		cfg:     cfg,
+		out:     make(map[dsys.ProcessID]*peerConn),
+		crashed: make(map[dsys.ProcessID]bool),
+	}
+	m.cluster = live.NewCluster(live.Config{
+		N:         cfg.N,
+		Trace:     cfg.Trace,
+		Log:       cfg.Log,
+		Transport: m.send,
+	})
+	for i := 0; i < cfg.N; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			m.Stop()
+			return nil, fmt.Errorf("tcpnet: listen for p%d: %w", i+1, err)
+		}
+		m.listeners = append(m.listeners, ln)
+		m.addrs = append(m.addrs, ln.Addr().String())
+		m.wg.Add(1)
+		go m.acceptLoop(dsys.ProcessID(i+1), ln)
+	}
+	return m, nil
+}
+
+// Cluster returns the underlying live cluster (for Now, Crashed, etc.).
+func (m *Mesh) Cluster() *live.Cluster { return m.cluster }
+
+// Addr returns the TCP address process id listens on.
+func (m *Mesh) Addr(id dsys.ProcessID) string { return m.addrs[id-1] }
+
+// Spawn starts a task of process id.
+func (m *Mesh) Spawn(id dsys.ProcessID, name string, fn dsys.TaskFunc) {
+	m.cluster.Spawn(id, name, fn)
+}
+
+// Crash permanently crashes process id: its tasks are unwound, its listener
+// closes, and the mesh stops carrying traffic to and from it.
+func (m *Mesh) Crash(id dsys.ProcessID) {
+	m.mu.Lock()
+	m.crashed[id] = true
+	ln := m.listeners[id-1]
+	pc := m.out[id]
+	delete(m.out, id)
+	m.mu.Unlock()
+	ln.Close()
+	if pc != nil {
+		pc.conn.Close()
+	}
+	m.cluster.Crash(id)
+}
+
+// Stop closes every socket and unwinds the cluster.
+func (m *Mesh) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		m.cluster.Stop()
+		return
+	}
+	m.stopped = true
+	lns := m.listeners
+	conns := make([]*peerConn, 0, len(m.out))
+	for _, pc := range m.out {
+		conns = append(conns, pc)
+	}
+	m.out = make(map[dsys.ProcessID]*peerConn)
+	m.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, pc := range conns {
+		pc.conn.Close()
+	}
+	m.cluster.Stop()
+	m.wg.Wait()
+}
+
+// send implements the live transport hook: encode and ship over the mesh.
+func (m *Mesh) send(msg *dsys.Message) {
+	m.mu.Lock()
+	if m.stopped || m.crashed[msg.From] || m.crashed[msg.To] {
+		m.mu.Unlock()
+		return
+	}
+	pc := m.out[msg.To]
+	m.mu.Unlock()
+	if pc == nil {
+		var err error
+		pc, err = m.dial(msg.To)
+		if err != nil {
+			return // unreachable peer: the message is lost (fair-lossy-like)
+		}
+	}
+	f := frame{From: msg.From, To: msg.To, Kind: msg.Kind, Payload: msg.Payload}
+	pc.mu.Lock()
+	err := pc.enc.Encode(&f)
+	pc.mu.Unlock()
+	if err != nil {
+		// Connection broke: drop it so the next send redials.
+		m.mu.Lock()
+		if m.out[msg.To] == pc {
+			delete(m.out, msg.To)
+		}
+		m.mu.Unlock()
+		pc.conn.Close()
+	}
+}
+
+// dial establishes (or returns a racing winner for) the outbound connection
+// to id.
+func (m *Mesh) dial(id dsys.ProcessID) (*peerConn, error) {
+	conn, err := net.DialTimeout("tcp", m.addrs[id-1], m.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped || m.crashed[id] {
+		conn.Close()
+		return nil, fmt.Errorf("tcpnet: peer %v gone", id)
+	}
+	if existing := m.out[id]; existing != nil {
+		conn.Close()
+		return existing, nil
+	}
+	m.out[id] = pc
+	return pc, nil
+}
+
+// acceptLoop receives connections addressed to process id and decodes
+// frames into the cluster.
+func (m *Mesh) acceptLoop(id dsys.ProcessID, ln net.Listener) {
+	defer m.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed (crash or stop)
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			for {
+				var f frame
+				if err := dec.Decode(&f); err != nil {
+					return
+				}
+				m.mu.Lock()
+				dead := m.stopped || m.crashed[f.To] || m.crashed[f.From]
+				m.mu.Unlock()
+				if dead {
+					if m.isStopped() {
+						return
+					}
+					continue
+				}
+				m.cluster.Inject(&dsys.Message{
+					From: f.From, To: f.To, Kind: f.Kind, Payload: f.Payload,
+					SentAt: m.cluster.Now(),
+				})
+			}
+		}()
+	}
+}
+
+func (m *Mesh) isStopped() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stopped
+}

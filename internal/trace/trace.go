@@ -1,0 +1,181 @@
+// Package trace collects runtime metrics from a simulation or live run:
+// per-kind message counters, optional full message logs for windowed
+// analyses, and crash/decision marks. All experiments in EXPERIMENTS.md are
+// computed from a Collector.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dsys"
+)
+
+// MsgEvent is one logged message transmission.
+type MsgEvent struct {
+	At      time.Duration // send time
+	From    dsys.ProcessID
+	To      dsys.ProcessID
+	Kind    string
+	Payload any // the message payload (shared, do not mutate)
+	Dropped bool
+}
+
+// Collector accumulates metrics. The zero value is ready to use with
+// counters only; set LogMessages before the run to retain the full message
+// log (needed by windowed per-period analyses). Collector is safe for
+// concurrent use so the same type serves the live runtime.
+type Collector struct {
+	// LogMessages retains every message in Events when true.
+	LogMessages bool
+
+	mu        sync.Mutex
+	sent      map[string]int
+	dropped   map[string]int
+	delivered map[string]int
+	events    []MsgEvent
+	crashes   map[dsys.ProcessID]time.Duration
+}
+
+// NewCollector returns a Collector that logs full message events.
+func NewCollector() *Collector {
+	return &Collector{LogMessages: true}
+}
+
+// OnSend records a message send (and whether the network dropped it).
+func (c *Collector) OnSend(m *dsys.Message, dropped bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sent == nil {
+		c.sent = make(map[string]int)
+		c.dropped = make(map[string]int)
+	}
+	c.sent[m.Kind]++
+	if dropped {
+		c.dropped[m.Kind]++
+	}
+	if c.LogMessages {
+		c.events = append(c.events, MsgEvent{At: m.SentAt, From: m.From, To: m.To, Kind: m.Kind, Payload: m.Payload, Dropped: dropped})
+	}
+}
+
+// OnDeliver records a message delivery to a live process.
+func (c *Collector) OnDeliver(m *dsys.Message) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.delivered == nil {
+		c.delivered = make(map[string]int)
+	}
+	c.delivered[m.Kind]++
+}
+
+// OnCrash records the crash time of a process.
+func (c *Collector) OnCrash(id dsys.ProcessID, at time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashes == nil {
+		c.crashes = make(map[dsys.ProcessID]time.Duration)
+	}
+	c.crashes[id] = at
+}
+
+// Sent returns the number of messages of the given kind handed to the
+// network (including dropped ones).
+func (c *Collector) Sent(kind string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent[kind]
+}
+
+// Delivered returns the number of messages of the given kind delivered.
+func (c *Collector) Delivered(kind string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delivered[kind]
+}
+
+// Dropped returns the number of messages of the given kind lost in transit.
+func (c *Collector) Dropped(kind string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped[kind]
+}
+
+// TotalSent returns the number of messages sent across all kinds.
+func (c *Collector) TotalSent() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.sent {
+		n += v
+	}
+	return n
+}
+
+// Kinds returns all message kinds seen, sorted.
+func (c *Collector) Kinds() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ks := make([]string, 0, len(c.sent))
+	for k := range c.sent {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Events returns a copy of the message log (requires LogMessages).
+func (c *Collector) Events() []MsgEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]MsgEvent, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// SentBetween counts messages sent in [from, to) matched by kinds (all kinds
+// when kinds is empty). Requires LogMessages.
+func (c *Collector) SentBetween(from, to time.Duration, kinds ...string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	want := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	n := 0
+	for _, e := range c.events {
+		if e.At >= from && e.At < to && (len(want) == 0 || want[e.Kind]) {
+			n++
+		}
+	}
+	return n
+}
+
+// CrashTime returns when id crashed, or ok=false if it never crashed.
+func (c *Collector) CrashTime(id dsys.ProcessID) (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.crashes[id]
+	return t, ok
+}
+
+// Crashed returns the set of processes that crashed.
+func (c *Collector) Crashed() map[dsys.ProcessID]time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[dsys.ProcessID]time.Duration, len(c.crashes))
+	for k, v := range c.crashes {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package trace_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/trace"
+)
+
+func msg(from, to dsys.ProcessID, kind string, at time.Duration) *dsys.Message {
+	return &dsys.Message{From: from, To: to, Kind: kind, SentAt: at}
+}
+
+func TestCountersByKind(t *testing.T) {
+	c := &trace.Collector{}
+	c.OnSend(msg(1, 2, "a", 0), false)
+	c.OnSend(msg(1, 2, "a", 0), true)
+	c.OnSend(msg(2, 1, "b", 0), false)
+	c.OnDeliver(msg(1, 2, "a", 0))
+	if c.Sent("a") != 2 || c.Dropped("a") != 1 || c.Delivered("a") != 1 {
+		t.Errorf("a: sent=%d dropped=%d delivered=%d", c.Sent("a"), c.Dropped("a"), c.Delivered("a"))
+	}
+	if c.Sent("b") != 1 || c.TotalSent() != 3 {
+		t.Errorf("b=%d total=%d", c.Sent("b"), c.TotalSent())
+	}
+	if ks := c.Kinds(); len(ks) != 2 || ks[0] != "a" || ks[1] != "b" {
+		t.Errorf("Kinds = %v", ks)
+	}
+}
+
+func TestEventLogAndWindows(t *testing.T) {
+	c := trace.NewCollector()
+	c.OnSend(msg(1, 2, "x", 5*time.Millisecond), false)
+	c.OnSend(msg(1, 2, "x", 15*time.Millisecond), false)
+	c.OnSend(msg(1, 2, "y", 15*time.Millisecond), true)
+	c.OnSend(msg(1, 2, "x", 25*time.Millisecond), false)
+	if got := c.SentBetween(10*time.Millisecond, 20*time.Millisecond); got != 2 {
+		t.Errorf("window all kinds = %d", got)
+	}
+	if got := c.SentBetween(10*time.Millisecond, 20*time.Millisecond, "x"); got != 1 {
+		t.Errorf("window x = %d", got)
+	}
+	if got := c.SentBetween(0, 30*time.Millisecond, "x"); got != 3 {
+		t.Errorf("all x = %d", got)
+	}
+	// Window bounds: [from, to).
+	if got := c.SentBetween(5*time.Millisecond, 15*time.Millisecond, "x"); got != 1 {
+		t.Errorf("half-open window = %d", got)
+	}
+	if evs := c.Events(); len(evs) != 4 || !evs[2].Dropped {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestNoEventLogWithoutFlag(t *testing.T) {
+	c := &trace.Collector{}
+	c.OnSend(msg(1, 2, "x", 0), false)
+	if len(c.Events()) != 0 {
+		t.Error("events retained without LogMessages")
+	}
+}
+
+func TestCrashRecords(t *testing.T) {
+	c := &trace.Collector{}
+	c.OnCrash(3, 40*time.Millisecond)
+	if at, ok := c.CrashTime(3); !ok || at != 40*time.Millisecond {
+		t.Errorf("CrashTime = %v %v", at, ok)
+	}
+	if _, ok := c.CrashTime(1); ok {
+		t.Error("phantom crash")
+	}
+	if m := c.Crashed(); len(m) != 1 || m[3] != 40*time.Millisecond {
+		t.Errorf("Crashed = %v", m)
+	}
+}
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *trace.Collector
+	c.OnSend(msg(1, 2, "x", 0), false) // must not panic
+	c.OnDeliver(msg(1, 2, "x", 0))
+	c.OnCrash(1, 0)
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := trace.NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.OnSend(msg(1, 2, "k", time.Duration(j)), j%3 == 0)
+				c.OnDeliver(msg(1, 2, "k", time.Duration(j)))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Sent("k") != 800 || c.Delivered("k") != 800 {
+		t.Errorf("sent=%d delivered=%d", c.Sent("k"), c.Delivered("k"))
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	c := trace.NewCollector()
+	c.OnSend(msg(1, 2, "x", 0), false)
+	evs := c.Events()
+	evs[0].Kind = "mutated"
+	if c.Events()[0].Kind != "x" {
+		t.Error("Events exposed internal state")
+	}
+}
