@@ -118,6 +118,10 @@ func BenchmarkE12DetectorQoS(b *testing.B) {
 	runExperiment(b, expt.E12DetectorQoS)
 }
 
+func BenchmarkE13MeshChaos(b *testing.B) {
+	runExperiment(b, expt.E13MeshChaos)
+}
+
 // --- Ablation benchmarks (DESIGN.md "key design decisions") ---
 
 // BenchmarkAblationAdaptiveTimeout compares false-suspicion counts of the

@@ -38,6 +38,7 @@ func main() {
 		{"E10", expt.E10ConsensusSoak},
 		{"E11", expt.E11StabilityWindow},
 		{"E12", expt.E12DetectorQoS},
+		{"E13", expt.E13MeshChaos},
 	}
 	want := map[string]bool{}
 	if *only != "" {

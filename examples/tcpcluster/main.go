@@ -1,7 +1,9 @@
 // TCP cluster: the paper's full stack — ring ◇C detector, reliable
-// broadcast, ◇C consensus — over REAL TCP loopback sockets (package tcpnet).
-// Five processes listen on ephemeral ports, dial a full mesh, elect a
-// leader, survive its crash, and agree.
+// broadcast, ◇C consensus — over REAL TCP loopback sockets (package tcpnet),
+// with transport faults injected on purpose. Five processes listen on
+// ephemeral ports, dial a full mesh, elect a leader and agree while 3% of
+// frames are dropped; then the leader is crashed AND every connection is
+// forcibly reset, and the survivors reconnect and agree again.
 //
 // Run with (takes a few wall-clock seconds):
 //
@@ -24,13 +26,16 @@ import (
 func main() {
 	const n = 5
 	col := trace.NewCollector()
-	mesh, err := tcpnet.New(tcpnet.Config{N: n, Trace: col})
+	// Fair-lossy links on purpose: every frame has a 3% chance to vanish.
+	// The detectors and consensus are built for exactly this.
+	faults := &tcpnet.Faults{Seed: 1, DropP: 0.03}
+	mesh, err := tcpnet.New(tcpnet.Config{N: n, Trace: col, Faults: faults})
 	if err != nil {
 		panic(err)
 	}
 	defer mesh.Stop()
 
-	fmt.Println("tcpcluster: real sockets, one per process")
+	fmt.Println("tcpcluster: real sockets, one per process, 3% frame loss injected")
 	for _, id := range dsys.Pids(n) {
 		fmt.Printf("  %v listens on %s\n", id, mesh.Addr(id))
 	}
@@ -45,10 +50,11 @@ func main() {
 		mesh.Spawn(id, "main", func(p dsys.Proc) {
 			det := ring.Start(p, ring.Options{Period: 10 * time.Millisecond})
 			rb := rbcast.Start(p)
-			// Instance 1: all five alive.
+			// Instance 1: all five alive (but lossy links).
 			r1 := cec.Propose(p, det, rb, fmt.Sprintf("first-%v", id), consensus.Options{Instance: "1", Poll: 2 * time.Millisecond})
 			results <- outcome{id, r1}
-			// Instance 2 runs after the leader is crashed from outside.
+			// Instance 2 runs after the leader is crashed and every TCP
+			// connection is torn down from outside.
 			p.Sleep(300 * time.Millisecond)
 			r2 := cec.Propose(p, det, rb, fmt.Sprintf("second-%v", id), consensus.Options{Instance: "2", Poll: 2 * time.Millisecond})
 			results <- outcome{id, r2}
@@ -59,11 +65,17 @@ func main() {
 		o := <-results
 		fmt.Printf("  instance 1: %v decided %v (round %d)\n", o.id, o.res.Value, o.res.Round)
 	}
-	fmt.Println(">>> crashing p1 (the leader): listener closed, connections dropped")
+	fmt.Println(">>> crashing p1 (the leader) and resetting EVERY connection")
 	mesh.Crash(1)
+	mesh.ResetConns() // writers redial with backoff; traffic resumes
 	for i := 0; i < n-1; i++ {
 		o := <-results
 		fmt.Printf("  instance 2: %v decided %v (round %d)\n", o.id, o.res.Value, o.res.Round)
 	}
 	fmt.Printf("total messages over TCP: %d\n", col.TotalSent())
+	fmt.Printf("transport events:")
+	for _, ev := range col.LinkEventNames() {
+		fmt.Printf(" %s=%d", ev, col.LinkEvents(ev))
+	}
+	fmt.Println()
 }

@@ -37,6 +37,7 @@ func TestE9(t *testing.T)  { runExp(t, "E9", E9AllSelfTrust) }
 func TestE10(t *testing.T) { runExp(t, "E10", E10ConsensusSoak) }
 func TestE11(t *testing.T) { runExp(t, "E11", E11StabilityWindow) }
 func TestE12(t *testing.T) { runExp(t, "E12", E12DetectorQoS) }
+func TestE13(t *testing.T) { runExp(t, "E13", E13MeshChaos) }
 
 func TestTableFormatting(t *testing.T) {
 	tb := &Table{

@@ -190,7 +190,7 @@ func All(quick bool) ([]*Table, error) {
 		E1ClassProperties, E2TransformCorrectness, E3MessagesPerPeriod,
 		E4DetectionLatency, E5RoundCosts, E6RoundsAfterStability,
 		E7NackTolerance, E8MergedPhaseTradeoff, E9AllSelfTrust,
-		E10ConsensusSoak, E11StabilityWindow, E12DetectorQoS,
+		E10ConsensusSoak, E11StabilityWindow, E12DetectorQoS, E13MeshChaos,
 	} {
 		tb, err := e(quick)
 		tables = append(tables, tb)

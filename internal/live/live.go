@@ -68,9 +68,23 @@ type lproc struct {
 	buf     []*dsys.Message
 	crashed bool
 	stopped bool
-	done    chan struct{}
-	rng     *rand.Rand
-	rngMu   sync.Mutex
+	// doneClosed records, under mu, that done has been closed; Crash and
+	// Stop race to kill a process, and whichever consults the flag first
+	// (while holding mu) is the one that closes the channel.
+	doneClosed bool
+	done       chan struct{}
+	rng        *rand.Rand
+	rngMu      sync.Mutex
+}
+
+// killLocked marks done for closing exactly once. The caller must hold
+// p.mu and must close(p.done) after unlocking iff killLocked returned true.
+func (p *lproc) killLocked() bool {
+	if p.doneClosed {
+		return false
+	}
+	p.doneClosed = true
+	return true
 }
 
 // NewCluster creates a live cluster of cfg.N processes.
@@ -126,11 +140,14 @@ func (c *Cluster) Crash(id dsys.ProcessID) {
 	already := p.crashed
 	p.crashed = true
 	p.buf = nil
+	shouldClose := p.killLocked()
 	p.mu.Unlock()
+	if shouldClose {
+		close(p.done)
+	}
 	if already {
 		return
 	}
-	close(p.done)
 	p.cond.Broadcast()
 	c.cfg.Trace.OnCrash(id, time.Since(c.start))
 }
@@ -150,9 +167,9 @@ func (c *Cluster) Stop() {
 		for _, p := range c.procs {
 			p.mu.Lock()
 			p.stopped = true
-			wasCrashed := p.crashed
+			shouldClose := p.killLocked()
 			p.mu.Unlock()
-			if !wasCrashed {
+			if shouldClose {
 				close(p.done)
 			}
 			p.cond.Broadcast()
@@ -193,13 +210,23 @@ func (v taskView) Rand() *rand.Rand {
 	return rand.New(&lockedSource{p: v.p})
 }
 
-// lockedSource guards the process source.
+// lockedSource guards the process source. It implements rand.Source64 so
+// that rand.Rand methods backed by Uint64 (Int63n fast path, Float64, ...)
+// take one locked call instead of falling back to two Int63 draws.
 type lockedSource struct{ p *lproc }
+
+var _ rand.Source64 = (*lockedSource)(nil)
 
 func (s *lockedSource) Int63() int64 {
 	s.p.rngMu.Lock()
 	defer s.p.rngMu.Unlock()
 	return s.p.rng.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.p.rngMu.Lock()
+	defer s.p.rngMu.Unlock()
+	return s.p.rng.Uint64()
 }
 
 func (s *lockedSource) Seed(seed int64) {
@@ -277,7 +304,15 @@ func (v taskView) Recv(match dsys.MatchFunc) (*dsys.Message, bool) {
 func (v taskView) RecvTimeout(match dsys.MatchFunc, d time.Duration) (*dsys.Message, bool) {
 	p := v.p
 	deadline := time.Now().Add(d)
-	timer := time.AfterFunc(d, func() { p.cond.Broadcast() })
+	// The callback must broadcast while holding p.mu: an unlocked broadcast
+	// can fire between the waiter's deadline check and its cond.Wait enqueue
+	// and be lost, leaving the waiter blocked far past its deadline until
+	// some unrelated message happens to arrive.
+	timer := time.AfterFunc(d, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
 	defer timer.Stop()
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -307,8 +342,13 @@ func (p *lproc) takeLocked(match dsys.MatchFunc) *dsys.Message {
 }
 
 func (v taskView) Sleep(d time.Duration) {
+	// time.After would leave its timer live until expiry even when the task
+	// is unwound; with per-period detector sleeps that leaks a timer per
+	// call. Stop the timer explicitly on both exits.
+	t := time.NewTimer(d)
+	defer t.Stop()
 	select {
-	case <-time.After(d):
+	case <-t.C:
 	case <-v.p.done:
 		panic(unwind{})
 	}

@@ -1,0 +1,139 @@
+package live_test
+
+// Regression tests for concurrency bugs in the live runtime. All of them
+// are meant to run under -race (see the CI workflow): the old code either
+// deadlocked (RecvTimeout lost wakeup), panicked (Crash/Stop double close
+// of the done channel), or leaked timers (Sleep via time.After).
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/live"
+	"repro/internal/trace"
+)
+
+// TestRecvTimeoutWakeupNotLost hammers the window between the deadline
+// check and cond.Wait: with the timer callback broadcasting without the
+// process lock, a wakeup firing in that window was lost and the call
+// blocked until an unrelated message arrived — here, forever.
+func TestRecvTimeoutWakeupNotLost(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 1, Network: fastNet()})
+	defer c.Stop()
+	const waiters = 8
+	const rounds = 150
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		c.Spawn(1, "waiter", func(p dsys.Proc) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Tiny, varying timeouts maximize the chance the timer
+				// fires exactly between the deadline check and the wait.
+				d := time.Duration(r%5) * 100 * time.Microsecond
+				if _, ok := p.RecvTimeout(dsys.MatchKind("never"), d); ok {
+					t.Error("impossible receive")
+					return
+				}
+			}
+		})
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RecvTimeout lost a wakeup: waiters blocked past their deadlines")
+	}
+}
+
+// TestCrashStopConcurrentNoDoubleClose races Crash against Stop. The old
+// code decided to close(p.done) after releasing p.mu, so both sides could
+// see "not yet closed" and close the channel twice — a panic.
+func TestCrashStopConcurrentNoDoubleClose(t *testing.T) {
+	for i := 0; i < 300; i++ {
+		c := live.NewCluster(live.Config{N: 2, Network: fastNet(), Trace: trace.NewCollector()})
+		c.Spawn(1, "blocked", func(p dsys.Proc) {
+			p.Recv(dsys.MatchKind("never"))
+		})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); c.Crash(1) }()
+		go func() { defer wg.Done(); c.Stop() }()
+		wg.Wait()
+		if !c.Crashed(1) {
+			t.Fatal("crash lost")
+		}
+	}
+}
+
+// TestCrashAfterStopDoesNotPanic covers the sequential variant of the same
+// bug: Stop closes every done channel; a later Crash must not close again.
+func TestCrashAfterStopDoesNotPanic(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 1, Network: fastNet()})
+	c.Stop()
+	c.Crash(1)
+	if !c.Crashed(1) {
+		t.Fatal("crash after stop not recorded")
+	}
+}
+
+// TestStopDuringManySleeps exercises Sleep's timer path (now a stoppable
+// timer instead of a leaked time.After) under concurrent unwinding.
+func TestStopDuringManySleeps(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 1, Network: fastNet()})
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		c.Spawn(1, "sleeper", func(p dsys.Proc) {
+			defer wg.Done()
+			for {
+				p.Sleep(time.Hour) // unwound by Stop; the timer must be reclaimed
+			}
+		})
+	}
+	time.Sleep(5 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { c.Stop(); wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sleepers did not unwind")
+	}
+}
+
+// TestRandUint64Path verifies the locked source serves the Source64 fast
+// path (Uint64-backed draws) correctly and concurrently.
+func TestRandUint64Path(t *testing.T) {
+	c := live.NewCluster(live.Config{N: 1, Network: fastNet(), Seed: 9})
+	defer c.Stop()
+	done := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		c.Spawn(1, "u64", func(p dsys.Proc) {
+			r := p.Rand()
+			varied := false
+			prev := r.Uint64()
+			for j := 0; j < 1000; j++ {
+				v := r.Uint64()
+				if v != prev {
+					varied = true
+				}
+				prev = v
+				r.Float64() // Uint64-backed in math/rand when Source64 is implemented
+			}
+			done <- varied
+		})
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case varied := <-done:
+			if !varied {
+				t.Error("Uint64 stream constant")
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("rand tasks hung")
+		}
+	}
+}

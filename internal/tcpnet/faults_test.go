@@ -1,0 +1,247 @@
+package tcpnet_test
+
+import (
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/tcpnet"
+	"repro/internal/trace"
+)
+
+// rawFrame mirrors the unexported wire frame so tests can speak the
+// protocol directly at a listener.
+type rawFrame struct {
+	From, To dsys.ProcessID
+	Kind     string
+	Payload  any
+}
+
+// TestMalformedFramesDroppedNotPanic sends garbage bytes and out-of-range
+// frames straight at a listener: the mesh must trace and drop them — the
+// old code handed them to cluster.Inject, whose id lookup panicked and took
+// the whole process down.
+func TestMalformedFramesDroppedNotPanic(t *testing.T) {
+	col := trace.NewCollector()
+	m, err := tcpnet.New(tcpnet.Config{N: 2, Trace: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	got := make(chan string, 10)
+	m.Spawn(2, "recv", func(p dsys.Proc) {
+		for {
+			msg, _ := p.Recv(dsys.MatchKind("ok"))
+			got <- msg.Payload.(string)
+		}
+	})
+
+	// 1: raw garbage bytes.
+	c1, err := net.Dial("tcp", m.Addr(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Write([]byte("\x01\x02definitely not gob\xff\xfe"))
+	c1.Close()
+
+	// 2: well-formed gob, out-of-range From and To addressed elsewhere.
+	c2, err := net.Dial("tcp", m.Addr(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(c2)
+	enc.Encode(&rawFrame{From: 99, To: 2, Kind: "evil", Payload: "x"})  // From out of range
+	enc.Encode(&rawFrame{From: -3, To: 2, Kind: "evil", Payload: "x"})  // negative From
+	enc.Encode(&rawFrame{From: 1, To: 7, Kind: "evil", Payload: "x"})   // To not this listener
+	enc.Encode(&rawFrame{From: 1, To: 2, Kind: "ok", Payload: "sane"})  // valid, must deliver
+	defer c2.Close()
+
+	select {
+	case v := <-got:
+		if v != "sane" {
+			t.Fatalf("delivered %q", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("valid frame after malformed ones never delivered (listener died?)")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for col.LinkEvents("tcp.badframe") < 4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := col.LinkEvents("tcp.badframe"); n < 4 {
+		t.Errorf("tcp.badframe = %d, want >= 4 (garbage stream + 3 invalid frames)", n)
+	}
+
+	// The mesh must still be fully operational end to end.
+	m.Spawn(1, "send", func(p dsys.Proc) { p.Send(2, "ok", "still-alive") })
+	select {
+	case v := <-got:
+		if v != "still-alive" {
+			t.Fatalf("delivered %q", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mesh dead after malformed frames")
+	}
+}
+
+// TestReconnectAfterReset breaks every connection mid-stream and asserts
+// traffic resumes: the old transport lost every subsequent message once a
+// connection broke between two sends' redial attempts; now the writer
+// redials with backoff and later frames flow again.
+func TestReconnectAfterReset(t *testing.T) {
+	col := trace.NewCollector()
+	m, err := tcpnet.New(tcpnet.Config{N: 2, Trace: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	got := make(chan int, 1000)
+	m.Spawn(2, "recv", func(p dsys.Proc) {
+		for {
+			msg, _ := p.Recv(dsys.MatchKind("seq"))
+			got <- msg.Payload.(int)
+		}
+	})
+	stop := make(chan struct{})
+	m.Spawn(1, "send", func(p dsys.Proc) {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.Send(2, "seq", i)
+			p.Sleep(2 * time.Millisecond)
+		}
+	})
+	waitFor := func(min int) int {
+		max := -1
+		deadline := time.After(10 * time.Second)
+		for max < min {
+			select {
+			case v := <-got:
+				if v > max {
+					max = v
+				}
+			case <-deadline:
+				t.Fatalf("stalled at seq %d, want >= %d (resets=%d dials=%d)",
+					max, min, col.LinkEvents("tcp.reset"), col.LinkEvents("tcp.dial"))
+			}
+		}
+		return max
+	}
+	high := waitFor(5)
+	for i := 0; i < 3; i++ {
+		m.ResetConns()
+		high = waitFor(high + 5) // progress after every reset
+	}
+	close(stop)
+	if r := col.LinkEvents("tcp.reset"); r == 0 {
+		t.Error("no tcp.reset traced")
+	}
+	if d := col.LinkEvents("tcp.dial"); d < 2 {
+		t.Errorf("tcp.dial = %d, want >= 2 (initial + at least one reconnect)", d)
+	}
+}
+
+// TestPartitionAndHeal cuts the 1<->2 links, observes silence, heals, and
+// observes traffic resuming.
+func TestPartitionAndHeal(t *testing.T) {
+	col := trace.NewCollector()
+	faults := &tcpnet.Faults{Seed: 3}
+	m, err := tcpnet.New(tcpnet.Config{N: 2, Trace: col, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	got := make(chan int, 1000)
+	m.Spawn(2, "recv", func(p dsys.Proc) {
+		for {
+			msg, _ := p.Recv(dsys.MatchKind("seq"))
+			got <- msg.Payload.(int)
+		}
+	})
+	m.Spawn(1, "send", func(p dsys.Proc) {
+		for i := 0; ; i++ {
+			p.Send(2, "seq", i)
+			p.Sleep(2 * time.Millisecond)
+		}
+	})
+	// Phase 1: traffic flows.
+	select {
+	case <-got:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no traffic before partition")
+	}
+	faults.Partition(1, 2)
+	time.Sleep(50 * time.Millisecond) // let in-flight frames drain
+	for len(got) > 0 {
+		<-got
+	}
+	// Phase 2: partition holds — nothing arrives.
+	select {
+	case v := <-got:
+		t.Fatalf("frame %d crossed the partition", v)
+	case <-time.After(150 * time.Millisecond):
+	}
+	if c := col.LinkEvents("tcp.cut"); c == 0 {
+		t.Error("no tcp.cut traced while partitioned")
+	}
+	// Phase 3: heal — traffic resumes.
+	faults.Heal(1, 2)
+	select {
+	case <-got:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no traffic after heal")
+	}
+}
+
+// TestDropAndDuplicationFaults checks the probabilistic knobs: with 30%
+// drop some but not all frames arrive; with 50% duplication the receiver
+// sees more deliveries than distinct sends.
+func TestDropAndDuplicationFaults(t *testing.T) {
+	col := trace.NewCollector()
+	faults := &tcpnet.Faults{Seed: 11, DropP: 0.3, DupP: 0.5}
+	m, err := tcpnet.New(tcpnet.Config{N: 2, Trace: col, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	const sends = 400
+	got := make(chan int, 4*sends)
+	m.Spawn(2, "recv", func(p dsys.Proc) {
+		for {
+			msg, _ := p.Recv(dsys.MatchKind("seq"))
+			got <- msg.Payload.(int)
+		}
+	})
+	done := make(chan struct{})
+	m.Spawn(1, "send", func(p dsys.Proc) {
+		for i := 0; i < sends; i++ {
+			p.Send(2, "seq", i)
+		}
+		close(done)
+	})
+	<-done
+	time.Sleep(300 * time.Millisecond) // drain
+	delivered := len(got)
+	distinct := make(map[int]bool)
+	for len(got) > 0 {
+		distinct[<-got] = true
+	}
+	if delivered == 0 || len(distinct) == sends && delivered == sends {
+		t.Fatalf("faults inert: %d deliveries of %d distinct", delivered, len(distinct))
+	}
+	if d := col.LinkEvents("tcp.drop"); d == 0 {
+		t.Error("no tcp.drop traced")
+	}
+	if d := col.LinkEvents("tcp.dup"); d == 0 {
+		t.Error("no tcp.dup traced")
+	}
+	if len(distinct) < sends/3 {
+		t.Errorf("only %d of %d distinct frames arrived under 30%% drop", len(distinct), sends)
+	}
+}

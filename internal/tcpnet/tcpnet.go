@@ -5,13 +5,32 @@
 // detectors and consensus algorithms run on it unchanged, with real sockets
 // providing the asynchrony.
 //
+// # Delivery semantics
+//
+// Sends are asynchronous: each destination has a bounded outbound queue
+// drained by a dedicated writer goroutine, so a protocol task is never
+// blocked by TCP backpressure or a slow dial. When the queue overflows the
+// OLDEST frame is dropped (periodic protocol traffic makes the newest frame
+// the valuable one). When a connection breaks the writer reconnects with
+// exponential backoff and keeps draining; a frame in flight during the break
+// may be lost. The transport therefore guarantees fair-lossy links — of
+// infinitely many sends, infinitely many arrive — which is exactly the
+// assumption the paper's detectors and consensus need (Section 4), and it
+// never silently goes permanently dark after a transient fault.
+//
+// Faults (drops, duplication, partitions, forced resets) can be injected
+// deliberately via Config.Faults; see the Faults type.
+//
 // Payloads are encoded with encoding/gob. The concrete payload types of
 // every protocol in this repository are pre-registered; applications sending
-// their own payload types must call Register first.
+// their own payload types must call Register first. A malformed or
+// out-of-range frame arriving at a listener is dropped and traced
+// ("tcp.badframe"), never panics the process.
 package tcpnet
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -57,12 +76,21 @@ type frame struct {
 type Config struct {
 	// N is the number of processes.
 	N int
-	// Trace receives message and crash events. Optional.
+	// Trace receives message, crash and transport-link events. Optional.
 	Trace *trace.Collector
 	// Log receives task debug output. Optional.
 	Log io.Writer
-	// DialTimeout bounds connection establishment (default 2s).
+	// DialTimeout bounds one connection attempt (default 2s).
 	DialTimeout time.Duration
+	// QueueLen bounds each per-destination outbound queue (default 1024).
+	// On overflow the oldest queued frame is dropped ("tcp.overflow").
+	QueueLen int
+	// MaxBackoff caps the exponential reconnect backoff (default 500ms;
+	// the first retry waits 5ms).
+	MaxBackoff time.Duration
+	// Faults, if set, injects transport faults (drops, duplication,
+	// partitions, forced connection resets). Nil means a clean mesh.
+	Faults *Faults
 }
 
 // Mesh is a live cluster whose messages flow over TCP loopback.
@@ -73,16 +101,11 @@ type Mesh struct {
 	addrs     []string
 
 	mu      sync.Mutex
-	out     map[dsys.ProcessID]*peerConn // outbound conns by destination
+	peers   map[dsys.ProcessID]*peer // outbound queues+writers by destination
+	inbound map[net.Conn]dsys.ProcessID
 	crashed map[dsys.ProcessID]bool
 	stopped bool
 	wg      sync.WaitGroup
-}
-
-type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
 }
 
 // New builds the mesh: one loopback listener per process, accept loops
@@ -94,9 +117,19 @@ func New(cfg Config) (*Mesh, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 2 * time.Second
 	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 500 * time.Millisecond
+	}
+	if cfg.Faults != nil {
+		cfg.Faults.init()
+	}
 	m := &Mesh{
 		cfg:     cfg,
-		out:     make(map[dsys.ProcessID]*peerConn),
+		peers:   make(map[dsys.ProcessID]*peer),
+		inbound: make(map[net.Conn]dsys.ProcessID),
 		crashed: make(map[dsys.ProcessID]bool),
 	}
 	m.cluster = live.NewCluster(live.Config{
@@ -123,30 +156,59 @@ func New(cfg Config) (*Mesh, error) {
 func (m *Mesh) Cluster() *live.Cluster { return m.cluster }
 
 // Addr returns the TCP address process id listens on.
-func (m *Mesh) Addr(id dsys.ProcessID) string { return m.addrs[id-1] }
+func (m *Mesh) Addr(id dsys.ProcessID) string { return m.addrOf(id) }
+
+// addrOf reads the dial target for id under the mesh lock (tests redirect
+// addresses to exercise unreachable-peer behaviour).
+func (m *Mesh) addrOf(id dsys.ProcessID) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.addrs[id-1]
+}
+
+// setAddr rewrites the dial target for id (test hook).
+func (m *Mesh) setAddr(id dsys.ProcessID, addr string) {
+	m.mu.Lock()
+	m.addrs[id-1] = addr
+	m.mu.Unlock()
+}
 
 // Spawn starts a task of process id.
 func (m *Mesh) Spawn(id dsys.ProcessID, name string, fn dsys.TaskFunc) {
 	m.cluster.Spawn(id, name, fn)
 }
 
+// onLink records a transport event on the trace collector (nil-safe).
+func (m *Mesh) onLink(event string, from, to dsys.ProcessID) {
+	m.cfg.Trace.OnLink(event, from, to, m.cluster.Now())
+}
+
 // Crash permanently crashes process id: its tasks are unwound, its listener
-// closes, and the mesh stops carrying traffic to and from it.
+// and connections close, and the mesh stops carrying traffic to and from it.
 func (m *Mesh) Crash(id dsys.ProcessID) {
 	m.mu.Lock()
 	m.crashed[id] = true
 	ln := m.listeners[id-1]
-	pc := m.out[id]
-	delete(m.out, id)
+	pr := m.peers[id]
+	delete(m.peers, id)
+	var ins []net.Conn
+	for c, owner := range m.inbound {
+		if owner == id {
+			ins = append(ins, c)
+		}
+	}
 	m.mu.Unlock()
 	ln.Close()
-	if pc != nil {
-		pc.conn.Close()
+	if pr != nil {
+		pr.close()
+	}
+	for _, c := range ins {
+		c.Close()
 	}
 	m.cluster.Crash(id)
 }
 
-// Stop closes every socket and unwinds the cluster.
+// Stop closes every socket, terminates the writers and unwinds the cluster.
 func (m *Mesh) Stop() {
 	m.mu.Lock()
 	if m.stopped {
@@ -156,73 +218,105 @@ func (m *Mesh) Stop() {
 	}
 	m.stopped = true
 	lns := m.listeners
-	conns := make([]*peerConn, 0, len(m.out))
-	for _, pc := range m.out {
-		conns = append(conns, pc)
+	prs := make([]*peer, 0, len(m.peers))
+	for _, pr := range m.peers {
+		prs = append(prs, pr)
 	}
-	m.out = make(map[dsys.ProcessID]*peerConn)
+	m.peers = make(map[dsys.ProcessID]*peer)
+	ins := make([]net.Conn, 0, len(m.inbound))
+	for c := range m.inbound {
+		ins = append(ins, c)
+	}
 	m.mu.Unlock()
 	for _, ln := range lns {
 		ln.Close()
 	}
-	for _, pc := range conns {
-		pc.conn.Close()
+	for _, pr := range prs {
+		pr.close()
+	}
+	for _, c := range ins {
+		c.Close()
 	}
 	m.cluster.Stop()
 	m.wg.Wait()
 }
 
-// send implements the live transport hook: encode and ship over the mesh.
-func (m *Mesh) send(msg *dsys.Message) {
+// ResetConns forcibly closes every currently open outbound connection in the
+// mesh (traced as "tcp.reset"). Writers reconnect with backoff and traffic
+// resumes — the chaos knob used by the soak tests to exercise recovery.
+func (m *Mesh) ResetConns() {
 	m.mu.Lock()
-	if m.stopped || m.crashed[msg.From] || m.crashed[msg.To] {
-		m.mu.Unlock()
-		return
+	prs := make([]*peer, 0, len(m.peers))
+	for _, pr := range m.peers {
+		prs = append(prs, pr)
 	}
-	pc := m.out[msg.To]
 	m.mu.Unlock()
-	if pc == nil {
-		var err error
-		pc, err = m.dial(msg.To)
-		if err != nil {
-			return // unreachable peer: the message is lost (fair-lossy-like)
-		}
-	}
-	f := frame{From: msg.From, To: msg.To, Kind: msg.Kind, Payload: msg.Payload}
-	pc.mu.Lock()
-	err := pc.enc.Encode(&f)
-	pc.mu.Unlock()
-	if err != nil {
-		// Connection broke: drop it so the next send redials.
-		m.mu.Lock()
-		if m.out[msg.To] == pc {
-			delete(m.out, msg.To)
-		}
-		m.mu.Unlock()
-		pc.conn.Close()
+	for _, pr := range prs {
+		pr.resetConn()
 	}
 }
 
-// dial establishes (or returns a racing winner for) the outbound connection
-// to id.
-func (m *Mesh) dial(id dsys.ProcessID) (*peerConn, error) {
-	conn, err := net.DialTimeout("tcp", m.addrs[id-1], m.cfg.DialTimeout)
-	if err != nil {
-		return nil, err
+// send implements the live transport hook: apply injected faults, then hand
+// the frame to the destination's outbound queue. It never blocks on the
+// network.
+func (m *Mesh) send(msg *dsys.Message) {
+	if fa := m.cfg.Faults; fa != nil {
+		if fa.partitioned(msg.From, msg.To) {
+			m.onLink("tcp.cut", msg.From, msg.To)
+			return
+		}
+		if fa.chance(fa.DropP) {
+			m.onLink("tcp.drop", msg.From, msg.To)
+			return
+		}
 	}
-	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+	pr := m.peer(msg.To, msg.From)
+	if pr == nil {
+		return
+	}
+	f := frame{From: msg.From, To: msg.To, Kind: msg.Kind, Payload: msg.Payload}
+	pr.enqueue(outFrame{f: f})
+	if fa := m.cfg.Faults; fa != nil && fa.chance(fa.DupP) {
+		m.onLink("tcp.dup", msg.From, msg.To)
+		pr.enqueue(outFrame{f: f})
+	}
+}
+
+// peer returns (creating on first use) the outbound queue for destination
+// to, or nil when the mesh is stopped or either endpoint has crashed.
+func (m *Mesh) peer(to, from dsys.ProcessID) *peer {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.stopped || m.crashed[id] {
-		conn.Close()
-		return nil, fmt.Errorf("tcpnet: peer %v gone", id)
+	if m.stopped || m.crashed[to] || m.crashed[from] {
+		return nil
 	}
-	if existing := m.out[id]; existing != nil {
-		conn.Close()
-		return existing, nil
+	pr := m.peers[to]
+	if pr == nil {
+		pr = newPeer(m, to)
+		m.peers[to] = pr
+		m.wg.Add(1)
+		go pr.run()
 	}
-	m.out[id] = pc
-	return pc, nil
+	return pr
+}
+
+// registerInbound tracks an accepted connection so Crash/Stop can close it;
+// reports false (and closes the conn) when the mesh is already stopping.
+func (m *Mesh) registerInbound(conn net.Conn, owner dsys.ProcessID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped || m.crashed[owner] {
+		conn.Close()
+		return false
+	}
+	m.inbound[conn] = owner
+	return true
+}
+
+func (m *Mesh) unregisterInbound(conn net.Conn) {
+	m.mu.Lock()
+	delete(m.inbound, conn)
+	m.mu.Unlock()
 }
 
 // acceptLoop receives connections addressed to process id and decodes
@@ -234,36 +328,254 @@ func (m *Mesh) acceptLoop(id dsys.ProcessID, ln net.Listener) {
 		if err != nil {
 			return // listener closed (crash or stop)
 		}
+		if !m.registerInbound(conn, id) {
+			continue
+		}
 		m.wg.Add(1)
-		go func() {
-			defer m.wg.Done()
-			defer conn.Close()
-			dec := gob.NewDecoder(conn)
-			for {
-				var f frame
-				if err := dec.Decode(&f); err != nil {
-					return
-				}
-				m.mu.Lock()
-				dead := m.stopped || m.crashed[f.To] || m.crashed[f.From]
-				m.mu.Unlock()
-				if dead {
-					if m.isStopped() {
-						return
-					}
-					continue
-				}
-				m.cluster.Inject(&dsys.Message{
-					From: f.From, To: f.To, Kind: f.Kind, Payload: f.Payload,
-					SentAt: m.cluster.Now(),
-				})
-			}
-		}()
+		go m.readLoop(id, conn)
 	}
 }
 
-func (m *Mesh) isStopped() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stopped
+// readLoop decodes frames off one accepted connection. Malformed frames are
+// dropped and traced; only connection teardown ends the loop.
+func (m *Mesh) readLoop(id dsys.ProcessID, conn net.Conn) {
+	defer m.wg.Done()
+	defer m.unregisterInbound(conn)
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			if !isTeardown(err) {
+				// Garbage bytes, an unregistered payload type, or a
+				// truncated header: drop the stream, never panic.
+				m.onLink("tcp.badframe", f.From, id)
+			}
+			return
+		}
+		// Validate bounds before the frame can reach cluster.Inject, whose
+		// id lookup panics on out-of-range processes. A frame addressed to
+		// some other process arriving on this listener is equally invalid.
+		if f.From < 1 || int(f.From) > m.cfg.N || f.To != id {
+			m.onLink("tcp.badframe", f.From, id)
+			continue
+		}
+		m.mu.Lock()
+		dead := m.stopped || m.crashed[f.To] || m.crashed[f.From]
+		stopped := m.stopped
+		m.mu.Unlock()
+		if dead {
+			if stopped {
+				return
+			}
+			continue
+		}
+		m.cluster.Inject(&dsys.Message{
+			From: f.From, To: f.To, Kind: f.Kind, Payload: f.Payload,
+			SentAt: m.cluster.Now(),
+		})
+	}
+}
+
+// isTeardown reports whether a decode error is ordinary connection teardown
+// (EOF, reset, locally closed socket) rather than a malformed frame.
+func isTeardown(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var opErr *net.OpError
+	return errors.As(err, &opErr)
+}
+
+// outFrame is one queued outbound frame. retried marks that one encode
+// attempt already failed, bounding redelivery effort (a frame the encoder
+// itself rejects — e.g. an unregistered payload type — must not wedge the
+// writer forever).
+type outFrame struct {
+	f       frame
+	retried bool
+}
+
+const initialBackoff = 5 * time.Millisecond
+
+// peer owns the outbound path to one destination: a bounded FIFO queue and
+// a writer goroutine that dials (and redials, with exponential backoff) the
+// destination's listener and encodes frames. Protocol tasks only ever touch
+// the queue, so TCP backpressure and dial latency never block a send.
+type peer struct {
+	m  *Mesh
+	to dsys.ProcessID
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	q        []outFrame
+	closed   bool
+	conn     net.Conn // current live connection, nil while disconnected
+	closedCh chan struct{}
+}
+
+func newPeer(m *Mesh, to dsys.ProcessID) *peer {
+	pr := &peer{m: m, to: to, closedCh: make(chan struct{})}
+	pr.cond = sync.NewCond(&pr.mu)
+	return pr
+}
+
+// enqueue appends a frame, dropping the oldest queued frame on overflow.
+func (pr *peer) enqueue(of outFrame) {
+	pr.mu.Lock()
+	if pr.closed {
+		pr.mu.Unlock()
+		return
+	}
+	if len(pr.q) >= pr.m.cfg.QueueLen {
+		old := pr.q[0]
+		pr.q = pr.q[1:]
+		pr.m.onLink("tcp.overflow", old.f.From, pr.to)
+	}
+	pr.q = append(pr.q, of)
+	pr.cond.Signal()
+	pr.mu.Unlock()
+}
+
+// next blocks until a frame is queued or the peer is closed.
+func (pr *peer) next() (outFrame, bool) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	for len(pr.q) == 0 && !pr.closed {
+		pr.cond.Wait()
+	}
+	if pr.closed {
+		return outFrame{}, false
+	}
+	of := pr.q[0]
+	pr.q = pr.q[1:]
+	return of, true
+}
+
+// close shuts the peer down: the writer exits, queued frames are discarded,
+// any live connection is closed.
+func (pr *peer) close() {
+	pr.mu.Lock()
+	if pr.closed {
+		pr.mu.Unlock()
+		return
+	}
+	pr.closed = true
+	conn := pr.conn
+	pr.conn = nil
+	pr.q = nil
+	pr.cond.Broadcast()
+	pr.mu.Unlock()
+	close(pr.closedCh)
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// resetConn forcibly closes the current connection (if any); the writer
+// notices on its next encode and redials.
+func (pr *peer) resetConn() {
+	pr.mu.Lock()
+	conn := pr.conn
+	pr.mu.Unlock()
+	if conn != nil {
+		pr.m.onLink("tcp.reset", dsys.None, pr.to)
+		conn.Close()
+	}
+}
+
+// run is the writer goroutine: drain the queue, (re)connecting as needed.
+func (pr *peer) run() {
+	defer pr.m.wg.Done()
+	var conn net.Conn
+	var enc *gob.Encoder
+	backoff := initialBackoff
+	for {
+		of, ok := pr.next()
+		if !ok {
+			if conn != nil {
+				conn.Close()
+			}
+			return
+		}
+		for {
+			if conn == nil {
+				conn, enc = pr.connect(&backoff)
+				if conn == nil {
+					return // closed while reconnecting; frame lost
+				}
+			}
+			err := enc.Encode(&of.f)
+			if err == nil {
+				if fa := pr.m.cfg.Faults; fa != nil && fa.chance(fa.ResetP) {
+					pr.m.onLink("tcp.reset", of.f.From, pr.to)
+					conn.Close()
+					conn, enc = pr.swapConn(nil), nil
+				}
+				break
+			}
+			// Connection broke mid-write (or the encoder rejected the
+			// value). Tear down and retry the frame once on a fresh
+			// connection; after that the frame is lost (fair-lossy) but
+			// the link itself keeps going.
+			pr.m.onLink("tcp.break", of.f.From, pr.to)
+			conn.Close()
+			conn, enc = pr.swapConn(nil), nil
+			if of.retried {
+				pr.m.onLink("tcp.lost", of.f.From, pr.to)
+				break
+			}
+			of.retried = true
+		}
+	}
+}
+
+// swapConn publishes the writer's current connection (for resetConn /
+// close) and returns it, unless the peer is already closed — then the
+// connection is closed immediately and nil is returned.
+func (pr *peer) swapConn(conn net.Conn) net.Conn {
+	pr.mu.Lock()
+	if pr.closed {
+		pr.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+		return nil
+	}
+	pr.conn = conn
+	pr.mu.Unlock()
+	return conn
+}
+
+// connect dials the destination until it succeeds or the peer is closed,
+// sleeping *backoff (doubled up to the cap) between failed attempts. On
+// success the backoff resets and the connection is published.
+func (pr *peer) connect(backoff *time.Duration) (net.Conn, *gob.Encoder) {
+	for {
+		select {
+		case <-pr.closedCh:
+			return nil, nil
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", pr.m.addrOf(pr.to), pr.m.cfg.DialTimeout)
+		if err == nil {
+			if pr.swapConn(conn) == nil {
+				return nil, nil
+			}
+			pr.m.onLink("tcp.dial", dsys.None, pr.to)
+			*backoff = initialBackoff
+			return conn, gob.NewEncoder(conn)
+		}
+		pr.m.onLink("tcp.dialfail", dsys.None, pr.to)
+		t := time.NewTimer(*backoff)
+		select {
+		case <-t.C:
+		case <-pr.closedCh:
+			t.Stop()
+			return nil, nil
+		}
+		if *backoff *= 2; *backoff > pr.m.cfg.MaxBackoff {
+			*backoff = pr.m.cfg.MaxBackoff
+		}
+	}
 }

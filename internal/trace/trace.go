@@ -36,6 +36,23 @@ type Collector struct {
 	delivered map[string]int
 	events    []MsgEvent
 	crashes   map[dsys.ProcessID]time.Duration
+	link      map[string]int
+	linkLog   []LinkEvent
+}
+
+// LinkEvent is one transport-level event on a directed link: a connection
+// established, broken, or reset, a frame dropped by fault injection or queue
+// overflow, a malformed frame rejected. Event names are defined by the
+// transport; package tcpnet uses "tcp.dial" / "tcp.dialfail" (connection
+// attempts), "tcp.break" (write error), "tcp.reset" (forced reset),
+// "tcp.drop" / "tcp.dup" / "tcp.cut" (injected faults), "tcp.overflow"
+// (bounded queue shed its oldest frame), "tcp.lost" (frame abandoned after
+// a failed retry), and "tcp.badframe" (malformed or out-of-range frame).
+type LinkEvent struct {
+	At    time.Duration
+	Event string
+	From  dsys.ProcessID
+	To    dsys.ProcessID
 }
 
 // NewCollector returns a Collector that logs full message events.
@@ -87,6 +104,52 @@ func (c *Collector) OnCrash(id dsys.ProcessID, at time.Duration) {
 		c.crashes = make(map[dsys.ProcessID]time.Duration)
 	}
 	c.crashes[id] = at
+}
+
+// OnLink records a transport-level event (connection lifecycle, fault
+// injection, queue overflow) on the directed link from -> to. Transports
+// call it; experiments and soak tests read the counters back via LinkEvents.
+func (c *Collector) OnLink(event string, from, to dsys.ProcessID, at time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.link == nil {
+		c.link = make(map[string]int)
+	}
+	c.link[event]++
+	if c.LogMessages {
+		c.linkLog = append(c.linkLog, LinkEvent{At: at, Event: event, From: from, To: to})
+	}
+}
+
+// LinkEvents returns how many transport events of the given name occurred.
+func (c *Collector) LinkEvents(event string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.link[event]
+}
+
+// LinkEventNames returns all transport event names seen, sorted.
+func (c *Collector) LinkEventNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ks := make([]string, 0, len(c.link))
+	for k := range c.link {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// LinkLog returns a copy of the transport event log (requires LogMessages).
+func (c *Collector) LinkLog() []LinkEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]LinkEvent, len(c.linkLog))
+	copy(out, c.linkLog)
+	return out
 }
 
 // Sent returns the number of messages of the given kind handed to the

@@ -111,3 +111,53 @@ func TestEventsReturnsCopy(t *testing.T) {
 		t.Error("Events exposed internal state")
 	}
 }
+
+func TestLinkEvents(t *testing.T) {
+	c := trace.NewCollector()
+	c.OnLink("tcp.dial", 0, 2, 5*time.Millisecond)
+	c.OnLink("tcp.drop", 1, 2, 6*time.Millisecond)
+	c.OnLink("tcp.drop", 2, 1, 7*time.Millisecond)
+	if got := c.LinkEvents("tcp.drop"); got != 2 {
+		t.Errorf("LinkEvents(tcp.drop) = %d, want 2", got)
+	}
+	if got := c.LinkEvents("tcp.dial"); got != 1 {
+		t.Errorf("LinkEvents(tcp.dial) = %d, want 1", got)
+	}
+	if got := c.LinkEvents("nonexistent"); got != 0 {
+		t.Errorf("LinkEvents(nonexistent) = %d, want 0", got)
+	}
+	names := c.LinkEventNames()
+	if len(names) != 2 || names[0] != "tcp.dial" || names[1] != "tcp.drop" {
+		t.Errorf("LinkEventNames = %v", names)
+	}
+	log := c.LinkLog()
+	if len(log) != 3 || log[1].Event != "tcp.drop" || log[1].From != 1 || log[1].To != 2 || log[1].At != 6*time.Millisecond {
+		t.Errorf("LinkLog = %+v", log)
+	}
+	// Nil collector and counters-only collector must both be safe.
+	var nilC *trace.Collector
+	nilC.OnLink("tcp.dial", 0, 1, 0)
+	counters := &trace.Collector{}
+	counters.OnLink("tcp.reset", 0, 1, 0)
+	if counters.LinkEvents("tcp.reset") != 1 || len(counters.LinkLog()) != 0 {
+		t.Error("counters-only collector wrong")
+	}
+}
+
+func TestLinkEventsConcurrent(t *testing.T) {
+	c := trace.NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.OnLink("tcp.break", 1, 2, time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.LinkEvents("tcp.break"); got != 800 {
+		t.Errorf("LinkEvents = %d, want 800", got)
+	}
+}
