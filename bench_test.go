@@ -12,6 +12,7 @@ package repro
 import (
 	"io"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -238,6 +239,80 @@ func BenchmarkAblationStableLeader(b *testing.B) {
 	}
 	b.ReportMetric(float64(st), "changes-stable")
 	b.ReportMetric(float64(plain), "changes-plain")
+}
+
+// --- Kernel fast-path benchmarks ---
+
+// benchKernelEvents runs a kernel workload b.N times and reports the two
+// numbers the typed-event fast path (internal/sim/heap.go) optimizes:
+// simulator events per wall-clock second, and heap allocations per event.
+// The workloads are deterministic, so allocs/event is directly comparable
+// across revisions.
+func benchKernelEvents(b *testing.B, build func() *sim.Kernel, runFor time.Duration) {
+	b.Helper()
+	b.ReportAllocs()
+	var ms0, ms1 runtime.MemStats
+	var events uint64
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		k := build()
+		k.Run(runFor)
+		events += k.Events()
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if events > 0 {
+		b.ReportMetric(float64(events)/wall.Seconds(), "events/s")
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(events), "allocs/event")
+	}
+}
+
+// BenchmarkKernelSendThroughput floods the per-send path: 8 processes forward
+// a token around a ring, so nearly every simulator event is a message
+// delivery (previously one closure allocation per send).
+func BenchmarkKernelSendThroughput(b *testing.B) {
+	const n = 8
+	benchKernelEvents(b, func() *sim.Kernel {
+		k := sim.New(sim.Config{
+			N:       n,
+			Network: network.Reliable{Latency: network.Fixed(time.Millisecond)},
+			Seed:    1,
+		})
+		for _, id := range dsys.Pids(n) {
+			k.Spawn(id, "flood", func(p dsys.Proc) {
+				next := dsys.ProcessID(int(p.ID())%n + 1)
+				for i := 0; ; i++ {
+					p.Send(next, "ping", i)
+					p.Recv(dsys.MatchKind("ping"))
+				}
+			})
+		}
+		return k
+	}, 500*time.Millisecond)
+}
+
+// BenchmarkKernelTimerThroughput floods the per-timer path: every event is a
+// Sleep or RecvTimeout expiry (previously one closure allocation per timer).
+func BenchmarkKernelTimerThroughput(b *testing.B) {
+	const n = 4
+	benchKernelEvents(b, func() *sim.Kernel {
+		k := sim.New(sim.Config{
+			N:       n,
+			Network: network.Reliable{Latency: network.Fixed(time.Millisecond)},
+			Seed:    1,
+		})
+		for _, id := range dsys.Pids(n) {
+			k.Spawn(id, "timers", func(p dsys.Proc) {
+				for {
+					p.Sleep(time.Millisecond)
+					p.RecvTimeout(dsys.MatchKind("never"), time.Millisecond)
+				}
+			})
+		}
+		return k
+	}, 500*time.Millisecond)
 }
 
 // BenchmarkRingDetectorSteadyState measures simulator throughput on the ring

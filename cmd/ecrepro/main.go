@@ -1,64 +1,109 @@
 // Command ecrepro regenerates the paper's experiments (see DESIGN.md and
 // EXPERIMENTS.md) and prints one table per experiment. It exits non-zero if
-// any experiment's qualitative shape fails to match the paper.
+// any experiment's qualitative shape fails to match the paper, or with status
+// 2 on usage errors such as an unknown -only id.
+//
+// Trials inside each experiment fan across -parallel worker goroutines (one
+// private sim.Kernel per trial), which changes wall-clock time only: the
+// tables on stdout are byte-identical for every -parallel value. Timing
+// diagnostics (per-experiment wall-clock, simulator events, events/sec) go to
+// stderr so stdout stays comparable across runs.
 //
 // Usage:
 //
-//	ecrepro [-quick] [-only E3,E5]
+//	ecrepro [-quick] [-only E3,E5] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/expt"
+	"repro/internal/trace"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced parameter sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E3,E5); default all")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines per experiment (1 = sequential); tables are identical for every value")
 	flag.Parse()
 
-	type entry struct {
-		id string
-		fn func(bool) (*expt.Table, error)
-	}
-	entries := []entry{
-		{"E1", expt.E1ClassProperties},
-		{"E2", expt.E2TransformCorrectness},
-		{"E3", expt.E3MessagesPerPeriod},
-		{"E4", expt.E4DetectionLatency},
-		{"E5", expt.E5RoundCosts},
-		{"E6", expt.E6RoundsAfterStability},
-		{"E7", expt.E7NackTolerance},
-		{"E8", expt.E8MergedPhaseTradeoff},
-		{"E9", expt.E9AllSelfTrust},
-		{"E10", expt.E10ConsensusSoak},
-		{"E11", expt.E11StabilityWindow},
-		{"E12", expt.E12DetectorQoS},
-		{"E13", expt.E13MeshChaos},
+	expt.SetParallelism(*parallel)
+	experiments := expt.Experiments()
+
+	valid := make(map[string]bool, len(experiments))
+	var ids []string
+	for _, e := range experiments {
+		valid[e.ID] = true
+		ids = append(ids, e.ID)
 	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
-			want[strings.ToUpper(strings.TrimSpace(id))] = true
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if id == "" {
+				continue
+			}
+			if !valid[id] {
+				fmt.Fprintf(os.Stderr, "ecrepro: unknown experiment id %q; valid ids: %s\n", id, strings.Join(ids, ", "))
+				os.Exit(2)
+			}
+			want[id] = true
+		}
+		if len(want) == 0 {
+			fmt.Fprintf(os.Stderr, "ecrepro: -only selected no experiments; valid ids: %s\n", strings.Join(ids, ", "))
+			os.Exit(2)
 		}
 	}
+
+	timings := &trace.Collector{}
 	failed := false
-	for _, e := range entries {
-		if len(want) > 0 && !want[e.id] {
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		tb, err := e.fn(*quick)
+		tb, err := expt.RunTimed(e, *quick, timings)
 		tb.Fprint(os.Stdout)
+		ts := timings.Timings()
+		fmt.Fprintln(os.Stderr, timingLine(ts[len(ts)-1]))
 		if err != nil {
 			failed = true
-			fmt.Fprintf(os.Stderr, "SHAPE MISMATCH %s: %v\n", e.id, err)
+			fmt.Fprintf(os.Stderr, "SHAPE MISMATCH %s: %v\n", e.ID, err)
 		}
 	}
+	fmt.Fprintln(os.Stderr, totalLine(timings.Timings()))
 	if failed {
 		os.Exit(1)
+	}
+}
+
+func timingLine(t trace.Timing) string {
+	return fmt.Sprintf("timing %-5s wall=%-10v events=%-9d %s  (parallel=%d)",
+		t.ID, t.Wall.Round(100*time.Microsecond), t.Events, rateCell(t.EventsPerSec()), t.Parallel)
+}
+
+func totalLine(ts []trace.Timing) string {
+	var total trace.Timing
+	total.ID = "total"
+	for _, t := range ts {
+		total.Wall += t.Wall
+		total.Events += t.Events
+		total.Parallel = t.Parallel
+	}
+	return timingLine(total)
+}
+
+func rateCell(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%6.2fM events/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%6.1fk events/s", r/1e3)
+	default:
+		return fmt.Sprintf("%6.0f events/s", r)
 	}
 }

@@ -96,16 +96,21 @@ func E5RoundCosts(quick bool) (*Table, error) {
 	if quick {
 		ns = []int{3, 5, 9}
 	}
+	algos := algorithms()
+	results := runTrials(len(ns)*len(algos), func(i int) conslab.Result {
+		n, a := ns[i/len(algos)], algos[i%len(algos)]
+		c := fdtest.NewCluster(n, 1)
+		return conslab.Run(conslab.Setup{
+			N:    n,
+			Seed: 500,
+			Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
+			Run:  a.run(c),
+		})
+	})
 	var err error
-	for _, n := range ns {
-		for _, a := range algorithms() {
-			c := fdtest.NewCluster(n, 1)
-			res := conslab.Run(conslab.Setup{
-				N:    n,
-				Seed: 500,
-				Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
-				Run:  a.run(c),
-			})
+	for ni, n := range ns {
+		for ai, a := range algos {
+			res := results[ni*len(algos)+ai]
 			if verr := res.Verify(n); verr != nil && err == nil {
 				err = fmt.Errorf("E5 %s n=%d: %w", a.name, n, verr)
 			}
@@ -154,7 +159,91 @@ func E6RoundsAfterStability(quick bool) (*Table, error) {
 		ns = []int{5}
 	}
 	stabAt := 150 * time.Millisecond
+	algos := algorithms()
+	type e6Trial struct {
+		n  int
+		li int
+		mi int
+	}
+	var sweep []e6Trial
+	for _, n := range ns {
+		for li := 1; li <= n; li++ {
+			for mi := range algos {
+				sweep = append(sweep, e6Trial{n: n, li: li, mi: mi})
+			}
+		}
+	}
+	type e6Result struct {
+		after int
+		verr  error
+	}
+	results := runTrials(len(sweep), func(i int) e6Result {
+		tr := sweep[i]
+		n, mi := tr.n, tr.mi
+		leader := dsys.ProcessID(tr.li)
+		a := algos[mi]
+		c := fdtest.NewCluster(n, 0)
+		// Pre-stabilization chaos that keeps rounds advancing
+		// without allowing a decision:
+		//   cec/mrc: every process trusts itself — every ◇C
+		//   coordinator gathers exactly one real estimate (< maj)
+		//   and sends null propositions; no MR candidate is ever
+		//   unanimously named. Rounds cycle, nothing decides.
+		//   ctc: everybody suspects everybody — every proposition
+		//   is nacked.
+		switch mi {
+		case 0, 2:
+			for _, id := range dsys.Pids(n) {
+				c.At(id).SetTrusted(id)
+			}
+		case 1:
+			for _, id := range dsys.Pids(n) {
+				c.At(id).Suspect(dsys.Pids(n)...)
+			}
+		}
+		probe := &consensus.RoundProbe{}
+		var roundAtStab int
+		res := conslab.Run(conslab.Setup{
+			N:    n,
+			Seed: int64(600 + tr.li),
+			Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
+			Run:  a.run(c),
+			Opt:  consensus.Options{RoundProbe: probe},
+			Before: func(k *sim.Kernel) {
+				k.ScheduleFunc(stabAt, func(time.Duration) {
+					roundAtStab = probe.Max()
+					for _, id := range dsys.Pids(n) {
+						c.At(id).SetTrusted(leader)
+						// CT: keep everyone but the stable leader
+						// suspected — the detector is stable (◇S
+						// only promises one never-suspected correct
+						// process).
+						if mi == 1 {
+							others := []dsys.ProcessID{}
+							for _, q := range dsys.Pids(n) {
+								if q != leader {
+									others = append(others, q)
+								}
+							}
+							c.At(id).SetSuspected(others...)
+						} else {
+							c.At(id).SetSuspected()
+						}
+					}
+				})
+			},
+		})
+		if verr := res.Verify(n); verr != nil {
+			return e6Result{verr: fmt.Errorf("E6 %s n=%d leader=%v: %w", a.name, n, leader, verr)}
+		}
+		after := res.Log.MaxRound() - roundAtStab
+		if after < 0 {
+			after = 0
+		}
+		return e6Result{after: after}
+	})
 	var err error
+	idx := 0
 	for _, n := range ns {
 		type measure struct {
 			name            string
@@ -168,69 +257,16 @@ func E6RoundsAfterStability(quick bool) (*Table, error) {
 			{name: "MR Ω (leader)", paper: "1", wantMax: 2},
 		}
 		for li := 1; li <= n; li++ {
-			leader := dsys.ProcessID(li)
-			for mi, a := range algorithms() {
-				m := measures[mi]
-				c := fdtest.NewCluster(n, 0)
-				// Pre-stabilization chaos that keeps rounds advancing
-				// without allowing a decision:
-				//   cec/mrc: every process trusts itself — every ◇C
-				//   coordinator gathers exactly one real estimate (< maj)
-				//   and sends null propositions; no MR candidate is ever
-				//   unanimously named. Rounds cycle, nothing decides.
-				//   ctc: everybody suspects everybody — every proposition
-				//   is nacked.
-				switch mi {
-				case 0, 2:
-					for _, id := range dsys.Pids(n) {
-						c.At(id).SetTrusted(id)
+			for mi := range algos {
+				r := results[idx]
+				idx++
+				if r.verr != nil {
+					if err == nil {
+						err = r.verr
 					}
-				case 1:
-					for _, id := range dsys.Pids(n) {
-						c.At(id).Suspect(dsys.Pids(n)...)
-					}
-				}
-				probe := &consensus.RoundProbe{}
-				var roundAtStab int
-				res := conslab.Run(conslab.Setup{
-					N:    n,
-					Seed: int64(600 + li),
-					Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
-					Run:  a.run(c),
-					Opt:  consensus.Options{RoundProbe: probe},
-					Before: func(k *sim.Kernel) {
-						k.ScheduleFunc(stabAt, func(time.Duration) {
-							roundAtStab = probe.Max()
-							for _, id := range dsys.Pids(n) {
-								c.At(id).SetTrusted(leader)
-								// CT: keep everyone but the stable leader
-								// suspected — the detector is stable (◇S
-								// only promises one never-suspected correct
-								// process).
-								if mi == 1 {
-									others := []dsys.ProcessID{}
-									for _, q := range dsys.Pids(n) {
-										if q != leader {
-											others = append(others, q)
-										}
-									}
-									c.At(id).SetSuspected(others...)
-								} else {
-									c.At(id).SetSuspected()
-								}
-							}
-						})
-					},
-				})
-				if verr := res.Verify(n); verr != nil && err == nil {
-					err = fmt.Errorf("E6 %s n=%d leader=%v: %w", a.name, n, leader, verr)
 					continue
 				}
-				after := res.Log.MaxRound() - roundAtStab
-				if after < 0 {
-					after = 0
-				}
-				m.rounds = append(m.rounds, after)
+				measures[mi].rounds = append(measures[mi].rounds, r.after)
 			}
 		}
 		for _, m := range measures {
@@ -276,50 +312,61 @@ func E7NackTolerance(quick bool) (*Table, error) {
 		ks = []int{0, 1, 2}
 	}
 	horizon := 2 * time.Second
-	var err error
-	for _, k := range ks {
-		cells := []any{k}
-		for mi, a := range algorithms() {
-			c := fdtest.NewCluster(n, 1)
-			negatives := map[dsys.ProcessID]bool{}
-			for i := 0; i < k; i++ {
-				id := dsys.ProcessID(n - i) // highest ids are the negatives
-				negatives[id] = true
-				if mi == 2 {
-					c.At(id).SetTrusted(2) // MR: dissenting leader view
-				} else {
-					c.At(id).Suspect(1) // ◇C/CT: permanent false suspicion
-				}
+	algos := algorithms()
+	type e7Result struct {
+		decidedCount int
+		round        int
+	}
+	results := runTrials(len(ks)*len(algos), func(i int) e7Result {
+		k, mi := ks[i/len(algos)], i%len(algos)
+		a := algos[mi]
+		c := fdtest.NewCluster(n, 1)
+		negatives := map[dsys.ProcessID]bool{}
+		for j := 0; j < k; j++ {
+			id := dsys.ProcessID(n - j) // highest ids are the negatives
+			negatives[id] = true
+			if mi == 2 {
+				c.At(id).SetTrusted(2) // MR: dissenting leader view
+			} else {
+				c.At(id).Suspect(1) // ◇C/CT: permanent false suspicion
 			}
-			// Delay only the coordinator's PROPOSITIONS to the negative
-			// processes, so their (false) suspicion acts before the
-			// proposition arrives and they nack; everything else is fast.
-			net := network.Func(func(from, to dsys.ProcessID, kind string, _ time.Duration, _ *rand.Rand) (time.Duration, bool) {
-				if from == 1 && negatives[to] && (kind == cec.KindProp || kind == ctc.KindProp) {
-					return 40 * time.Millisecond, false
-				}
-				return time.Millisecond, false
-			})
-			res := conslab.Run(conslab.Setup{
-				N:      n,
-				Seed:   int64(700 + k),
-				Net:    net,
-				Run:    a.run(c),
-				RunFor: horizon,
-			})
+		}
+		// Delay only the coordinator's PROPOSITIONS to the negative
+		// processes, so their (false) suspicion acts before the
+		// proposition arrives and they nack; everything else is fast.
+		net := network.Func(func(from, to dsys.ProcessID, kind string, _ time.Duration, _ *rand.Rand) (time.Duration, bool) {
+			if from == 1 && negatives[to] && (kind == cec.KindProp || kind == ctc.KindProp) {
+				return 40 * time.Millisecond, false
+			}
+			return time.Millisecond, false
+		})
+		res := conslab.Run(conslab.Setup{
+			N:      n,
+			Seed:   int64(700 + k),
+			Net:    net,
+			Run:    a.run(c),
+			RunFor: horizon,
+		})
+		return e7Result{decidedCount: res.Log.DecidedCount(), round: res.Log.MaxRound()}
+	})
+	var err error
+	for ki, k := range ks {
+		cells := []any{k}
+		for mi := range algos {
+			r := results[ki*len(algos)+mi]
 			cell := "-"
-			if res.Log.DecidedCount() == n {
-				cell = fmt.Sprint(res.Log.MaxRound())
+			if r.decidedCount == n {
+				cell = fmt.Sprint(r.round)
 			}
 			cells = append(cells, cell)
 			if err == nil {
 				switch {
 				case mi == 0 && k <= (n-1)/2:
-					err = checkf(res.Log.DecidedCount() == n && res.Log.MaxRound() == 1,
-						"E7", "◇C with k=%d: round %d decided=%d, want round 1", k, res.Log.MaxRound(), res.Log.DecidedCount())
-				case mi == 1 && k >= 1 && res.Log.DecidedCount() == n:
-					err = checkf(res.Log.MaxRound() >= 2,
-						"E7", "CT with k=%d decided in round %d; a nack in the first majority should kill round 1", k, res.Log.MaxRound())
+					err = checkf(r.decidedCount == n && r.round == 1,
+						"E7", "◇C with k=%d: round %d decided=%d, want round 1", k, r.round, r.decidedCount)
+				case mi == 1 && k >= 1 && r.decidedCount == n:
+					err = checkf(r.round >= 2,
+						"E7", "CT with k=%d decided in round %d; a nack in the first majority should kill round 1", k, r.round)
 				}
 			}
 		}
@@ -346,20 +393,24 @@ func E8MergedPhaseTradeoff(quick bool) (*Table, error) {
 		ns = []int{4, 8}
 	}
 	kinds := []string{cec.KindCoord, cec.KindEst, cec.KindProp, cec.KindAck, cec.KindNack}
+	results := runTrials(len(ns)*2, func(i int) conslab.Result {
+		n, merged := ns[i/2], i%2 == 1
+		c := fdtest.NewCluster(n, 1)
+		return conslab.Run(conslab.Setup{
+			N:    n,
+			Seed: 800,
+			Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
+			Run: func(p dsys.Proc, rb *rbcast.Module, v any, opt consensus.Options) consensus.Result {
+				return cec.Propose(p, c.At(p.ID()), rb, v, opt)
+			},
+			Opt: consensus.Options{MergedPhase01: merged},
+		})
+	})
 	var err error
-	for _, n := range ns {
+	for ni, n := range ns {
 		var counts [2]int
 		for vi, merged := range []bool{false, true} {
-			c := fdtest.NewCluster(n, 1)
-			res := conslab.Run(conslab.Setup{
-				N:    n,
-				Seed: 800,
-				Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
-				Run: func(p dsys.Proc, rb *rbcast.Module, v any, opt consensus.Options) consensus.Result {
-					return cec.Propose(p, c.At(p.ID()), rb, v, opt)
-				},
-				Opt: consensus.Options{MergedPhase01: merged},
-			})
+			res := results[ni*2+vi]
 			if verr := res.Verify(n); verr != nil && err == nil {
 				err = fmt.Errorf("E8 merged=%v n=%d: %w", merged, n, verr)
 			}
@@ -394,37 +445,47 @@ func E9AllSelfTrust(quick bool) (*Table, error) {
 	if quick {
 		ns = []int{4, 8, 16}
 	}
-	var err error
-	for _, n := range ns {
-		count := func(selfTrust bool) int {
-			c := fdtest.NewCluster(n, 1)
-			if selfTrust {
-				for _, id := range dsys.Pids(n) {
-					c.At(id).SetTrusted(id)
-				}
+	type e9Result struct {
+		msgs int
+		verr error
+	}
+	results := runTrials(len(ns)*2, func(i int) e9Result {
+		n, selfTrust := ns[i/2], i%2 == 0 // trial order: (bad, good) per n, as before
+		c := fdtest.NewCluster(n, 1)
+		if selfTrust {
+			for _, id := range dsys.Pids(n) {
+				c.At(id).SetTrusted(id)
 			}
-			res := conslab.Run(conslab.Setup{
-				N:    n,
-				Seed: 900,
-				Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
-				Run: func(p dsys.Proc, rb *rbcast.Module, v any, opt consensus.Options) consensus.Result {
-					return cec.Propose(p, c.At(p.ID()), rb, v, opt)
-				},
-				Before: func(k *sim.Kernel) {
-					if selfTrust {
-						// Heal after round 1's Phase 0 has fired everywhere.
-						k.ScheduleFunc(50*time.Millisecond, func(time.Duration) {
-							c.SetTrustedEverywhere(1)
-						})
-					}
-				},
-			})
-			if verr := res.Verify(n); verr != nil && err == nil {
-				err = fmt.Errorf("E9 selfTrust=%v n=%d: %w", selfTrust, n, verr)
-			}
-			return roundMessages(res.Messages, 1, []string{cec.KindCoord})
 		}
-		bad, good := count(true), count(false)
+		res := conslab.Run(conslab.Setup{
+			N:    n,
+			Seed: 900,
+			Net:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
+			Run: func(p dsys.Proc, rb *rbcast.Module, v any, opt consensus.Options) consensus.Result {
+				return cec.Propose(p, c.At(p.ID()), rb, v, opt)
+			},
+			Before: func(k *sim.Kernel) {
+				if selfTrust {
+					// Heal after round 1's Phase 0 has fired everywhere.
+					k.ScheduleFunc(50*time.Millisecond, func(time.Duration) {
+						c.SetTrustedEverywhere(1)
+					})
+				}
+			},
+		})
+		var verr error
+		if v := res.Verify(n); v != nil {
+			verr = fmt.Errorf("E9 selfTrust=%v n=%d: %w", selfTrust, n, v)
+		}
+		return e9Result{msgs: roundMessages(res.Messages, 1, []string{cec.KindCoord}), verr: verr}
+	})
+	var err error
+	for ni, n := range ns {
+		badRes, goodRes := results[ni*2], results[ni*2+1]
+		if err == nil {
+			err = firstErr(badRes.verr, goodRes.verr)
+		}
+		bad, good := badRes.msgs, goodRes.msgs
 		t.AddRow(n, bad, n*(n-1), good, n-1)
 		if err == nil {
 			err = firstErr(

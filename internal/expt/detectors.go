@@ -178,8 +178,12 @@ func E1ClassProperties(quick bool) (*Table, error) {
 			},
 		},
 	}
-	var err error
-	for i, r := range rows {
+	type classTrial struct {
+		cells []any
+		rerr  error
+	}
+	results := runTrials(len(rows), func(i int) classTrial {
+		r := rows[i]
 		res := fdlab.Run(fdlab.Setup{
 			N:    6,
 			Seed: int64(100 + i),
@@ -201,16 +205,18 @@ func E1ClassProperties(quick bool) (*Table, error) {
 		for _, v := range verdicts {
 			cells = append(cells, vcell(v))
 		}
-		rerr := r.want(tr)
-		verdict := r.class + " ok"
-		if rerr != nil {
+		return classTrial{cells: cells, rerr: r.want(tr)}
+	})
+	var err error
+	for i, res := range results {
+		verdict := rows[i].class + " ok"
+		if res.rerr != nil {
 			verdict = "FAILED"
 			if err == nil {
-				err = rerr
+				err = res.rerr
 			}
 		}
-		cells = append(cells, verdict)
-		t.AddRow(cells...)
+		t.AddRow(append(res.cells, verdict)...)
 	}
 	return t, err
 }
@@ -241,35 +247,55 @@ func E2TransformCorrectness(quick bool) (*Table, error) {
 		ns = []int{5}
 		losses = []float64{0, 0.5}
 	}
-	var err error
+	type cell struct {
+		n    int
+		loss float64
+		gst  time.Duration
+		seed int64
+	}
+	var sweep []cell
 	seed := int64(200)
 	for _, n := range ns {
 		for _, loss := range losses {
 			for _, gst := range gsts {
 				seed++
-				crashTarget := dsys.ProcessID(n - 1)
-				crashAt := gst + 300*time.Millisecond
-				res := fdlab.Run(fdlab.Setup{
-					N:       n,
-					Seed:    seed,
-					Net:     theoremOneNet(n, 1, gst, 10*time.Millisecond, loss),
-					Crashes: map[dsys.ProcessID]time.Duration{crashTarget: crashAt},
-					Build: func(p dsys.Proc) any {
-						return transform.Start(p, fdtest.NewScripted(1), transform.Options{})
-					},
-					RunFor:      6 * time.Second,
-					SampleEvery: 2 * time.Millisecond,
-				})
-				v := res.Trace.EventuallyPerfect()
-				lat := detectionLatency(res, crashTarget, crashAt)
-				t.AddRow(n, fmt.Sprintf("%.0f%%", loss*100), msd(gst), mark(v.Holds), vcell(v), msd(lat))
-				if err == nil {
-					err = firstErr(
-						checkf(v.Holds, "E2", "◇P failed at n=%d loss=%.1f gst=%v", n, loss, gst),
-						checkf(lat >= 0, "E2", "crash never detected at n=%d loss=%.1f gst=%v", n, loss, gst),
-					)
-				}
+				sweep = append(sweep, cell{n: n, loss: loss, gst: gst, seed: seed})
 			}
+		}
+	}
+	type cellResult struct {
+		v   check.Verdict
+		lat time.Duration
+	}
+	results := runTrials(len(sweep), func(i int) cellResult {
+		c := sweep[i]
+		crashTarget := dsys.ProcessID(c.n - 1)
+		crashAt := c.gst + 300*time.Millisecond
+		res := fdlab.Run(fdlab.Setup{
+			N:       c.n,
+			Seed:    c.seed,
+			Net:     theoremOneNet(c.n, 1, c.gst, 10*time.Millisecond, c.loss),
+			Crashes: map[dsys.ProcessID]time.Duration{crashTarget: crashAt},
+			Build: func(p dsys.Proc) any {
+				return transform.Start(p, fdtest.NewScripted(1), transform.Options{})
+			},
+			RunFor:      6 * time.Second,
+			SampleEvery: 2 * time.Millisecond,
+		})
+		return cellResult{
+			v:   res.Trace.EventuallyPerfect(),
+			lat: detectionLatency(res, crashTarget, crashAt),
+		}
+	})
+	var err error
+	for i, r := range results {
+		c := sweep[i]
+		t.AddRow(c.n, fmt.Sprintf("%.0f%%", c.loss*100), msd(c.gst), mark(r.v.Holds), vcell(r.v), msd(r.lat))
+		if err == nil {
+			err = firstErr(
+				checkf(r.v.Holds, "E2", "◇P failed at n=%d loss=%.1f gst=%v", c.n, c.loss, c.gst),
+				checkf(r.lat >= 0, "E2", "crash never detected at n=%d loss=%.1f gst=%v", c.n, c.loss, c.gst),
+			)
 		}
 	}
 	return t, err
@@ -333,29 +359,35 @@ func E3MessagesPerPeriod(quick bool) (*Table, error) {
 	period := 10 * time.Millisecond
 	winFrom, winTo := 500*time.Millisecond, 1000*time.Millisecond
 	periods := int((winTo - winFrom) / period)
+	// One trial per (n, detector variant): the largest-n heartbeat run is the
+	// long pole, so the sweep is flattened for the worker pool rather than
+	// fanned per n.
+	variants := []struct {
+		seed  int64
+		build func(p dsys.Proc) any
+		kinds []string
+	}{
+		{300, func(p dsys.Proc) any { return heartbeat.Start(p, heartbeat.Options{Period: period}) },
+			[]string{heartbeat.KindAlive}},
+		{301, func(p dsys.Proc) any { return ring.Start(p, ring.Options{Period: period}) },
+			[]string{ring.KindBeat, ring.KindWatch}},
+		{302, func(p dsys.Proc) any {
+			return transform.Start(p, fdtest.NewScripted(1), transform.Options{Period: period})
+		}, []string{transform.KindAlive, transform.KindList}},
+		{303, func(p dsys.Proc) any {
+			om := omega.StartLeaderBeat(p, omega.Options{Period: period})
+			return transform.Start(p, om, transform.Options{Period: period, Piggyback: om})
+		}, []string{transform.KindAlive, transform.KindList, omega.KindLeaderBeat}},
+	}
+	net := network.Reliable{Latency: network.Fixed(time.Millisecond)}
+	results := runTrials(len(ns)*len(variants), func(i int) float64 {
+		n, v := ns[i/len(variants)], variants[i%len(variants)]
+		res := fdlab.Run(fdlab.Setup{N: n, Seed: v.seed, Net: net, RunFor: winTo, Build: v.build})
+		return float64(res.Messages.SentBetween(winFrom, winTo, v.kinds...)) / float64(periods)
+	})
 	var err error
-	for _, n := range ns {
-		perPeriod := func(res fdlab.Result, kinds ...string) float64 {
-			return float64(res.Messages.SentBetween(winFrom, winTo, kinds...)) / float64(periods)
-		}
-		net := network.Reliable{Latency: network.Fixed(time.Millisecond)}
-		hb := fdlab.Run(fdlab.Setup{N: n, Seed: 300, Net: net, RunFor: winTo,
-			Build: func(p dsys.Proc) any { return heartbeat.Start(p, heartbeat.Options{Period: period}) }})
-		rg := fdlab.Run(fdlab.Setup{N: n, Seed: 301, Net: net, RunFor: winTo,
-			Build: func(p dsys.Proc) any { return ring.Start(p, ring.Options{Period: period}) }})
-		tf := fdlab.Run(fdlab.Setup{N: n, Seed: 302, Net: net, RunFor: winTo,
-			Build: func(p dsys.Proc) any {
-				return transform.Start(p, fdtest.NewScripted(1), transform.Options{Period: period})
-			}})
-		pg := fdlab.Run(fdlab.Setup{N: n, Seed: 303, Net: net, RunFor: winTo,
-			Build: func(p dsys.Proc) any {
-				om := omega.StartLeaderBeat(p, omega.Options{Period: period})
-				return transform.Start(p, om, transform.Options{Period: period, Piggyback: om})
-			}})
-		hbM := perPeriod(hb, heartbeat.KindAlive)
-		rgM := perPeriod(rg, ring.KindBeat, ring.KindWatch)
-		tfM := perPeriod(tf, transform.KindAlive, transform.KindList)
-		pgM := perPeriod(pg, transform.KindAlive, transform.KindList, omega.KindLeaderBeat)
+	for ni, n := range ns {
+		hbM, rgM, tfM, pgM := results[ni*4], results[ni*4+1], results[ni*4+2], results[ni*4+3]
 		t.AddRow(n, hbM, n*n-n, rgM, n, tfM, 2*(n-1), pgM, 2*(n-1))
 		if err == nil {
 			err = firstErr(
@@ -389,25 +421,32 @@ func E4DetectionLatency(quick bool) (*Table, error) {
 	}
 	crashAt := 500 * time.Millisecond
 	net := network.Reliable{Latency: network.Fixed(time.Millisecond)}
+	builders := []struct {
+		seed  int64
+		build func(p dsys.Proc) any
+	}{
+		{400, func(p dsys.Proc) any { return heartbeat.Start(p, heartbeat.Options{}) }},
+		{401, func(p dsys.Proc) any { return ring.Start(p, ring.Options{}) }},
+		{402, func(p dsys.Proc) any {
+			return transform.Start(p, fdtest.NewScripted(1), transform.Options{})
+		}},
+	}
+	lats := runTrials(len(ns)*len(builders), func(i int) time.Duration {
+		n, b := ns[i/len(builders)], builders[i%len(builders)]
+		victim := dsys.ProcessID(n / 2)
+		res := fdlab.Run(fdlab.Setup{
+			N: n, Seed: b.seed, Net: net,
+			Crashes:     map[dsys.ProcessID]time.Duration{victim: crashAt},
+			Build:       b.build,
+			RunFor:      crashAt + 4*time.Second,
+			SampleEvery: 2 * time.Millisecond,
+		})
+		return detectionLatency(res, victim, crashAt)
+	})
 	var ringLat, tfLat []time.Duration
 	var err error
-	for _, n := range ns {
-		victim := dsys.ProcessID(n / 2)
-		run := func(seed int64, build func(p dsys.Proc) any) time.Duration {
-			res := fdlab.Run(fdlab.Setup{
-				N: n, Seed: seed, Net: net,
-				Crashes:     map[dsys.ProcessID]time.Duration{victim: crashAt},
-				Build:       build,
-				RunFor:      crashAt + 4*time.Second,
-				SampleEvery: 2 * time.Millisecond,
-			})
-			return detectionLatency(res, victim, crashAt)
-		}
-		hbL := run(400, func(p dsys.Proc) any { return heartbeat.Start(p, heartbeat.Options{}) })
-		rgL := run(401, func(p dsys.Proc) any { return ring.Start(p, ring.Options{}) })
-		tfL := run(402, func(p dsys.Proc) any {
-			return transform.Start(p, fdtest.NewScripted(1), transform.Options{})
-		})
+	for ni, n := range ns {
+		hbL, rgL, tfL := lats[ni*3], lats[ni*3+1], lats[ni*3+2]
 		ringLat = append(ringLat, rgL)
 		tfLat = append(tfLat, tfL)
 		t.AddRow(n, msd(hbL), msd(rgL), msd(tfL))

@@ -39,6 +39,47 @@ func TestE11(t *testing.T) { runExp(t, "E11", E11StabilityWindow) }
 func TestE12(t *testing.T) { runExp(t, "E12", E12DetectorQoS) }
 func TestE13(t *testing.T) { runExp(t, "E13", E13MeshChaos) }
 
+// TestTableNonASCIIAlignment is the regression for pad measuring width in
+// bytes: multi-byte cells like "◇P" (3-byte runes) made len(s) overshoot the
+// rendered width, so every column after a non-ASCII cell drifted out of
+// alignment. Alignment is now computed in runes.
+func TestTableNonASCIIAlignment(t *testing.T) {
+	tb := &Table{
+		ID: "EX", Title: "align", Columns: []string{"detector", "msgs"},
+	}
+	tb.AddRow("◇P", 1)       // 2 runes, 7 bytes
+	tb.AddRow("ascii-one", 2) // widest cell: 9 runes
+	tb.AddRow("Ω", 3)
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	var starts []int
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.Contains(line, "  ") || !strings.HasPrefix(line, "  ") {
+			continue
+		}
+		cells := strings.Fields(line)
+		if len(cells) != 2 {
+			continue
+		}
+		// Column 2 must start at the same rune offset on every row.
+		starts = append(starts, len([]rune(line[:strings.LastIndex(line, cells[1])])))
+	}
+	if len(starts) < 4 {
+		t.Fatalf("expected at least header+3 rows, got %d aligned lines:\n%s", len(starts), sb.String())
+	}
+	for _, s := range starts[1:] {
+		if s != starts[0] {
+			t.Fatalf("column 2 misaligned (rune offsets %v):\n%s", starts, sb.String())
+		}
+	}
+	if w := cellWidth("◇P"); w != 2 {
+		t.Fatalf("cellWidth(◇P) = %d, want 2 runes", w)
+	}
+	if got := pad("◇P", 4); got != "◇P  " {
+		t.Fatalf("pad(◇P, 4) = %q, want two trailing spaces", got)
+	}
+}
+
 func TestTableFormatting(t *testing.T) {
 	tb := &Table{
 		ID: "EX", Title: "demo", Claim: "c",

@@ -40,9 +40,20 @@ func E13MeshChaos(quick bool) (*Table, error) {
 	if quick {
 		scenarios = scenarios[1:] // skip the clean baseline in quick mode
 	}
+	// The scenarios run on real loopback sockets, so fanning them across the
+	// worker pool overlaps their ≈1.5s wall-clock runs; each scenario owns a
+	// private mesh (its own listeners and trace collector).
+	type meshTrial struct {
+		res  meshScenarioResult
+		rerr error
+	}
+	results := runTrials(len(scenarios), func(i int) meshTrial {
+		res, rerr := runMeshScenario(scenarios[i].faults, scenarios[i].resets)
+		return meshTrial{res: res, rerr: rerr}
+	})
 	var err error
-	for _, sc := range scenarios {
-		res, rerr := runMeshScenario(sc.faults, sc.resets)
+	for i, sc := range scenarios {
+		res, rerr := results[i].res, results[i].rerr
 		if rerr != nil {
 			return t, rerr
 		}

@@ -3,6 +3,7 @@ package expt
 import (
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/dsys"
 	"repro/internal/fd/amplify"
 	"repro/internal/fd/fdlab"
@@ -61,18 +62,21 @@ func E12DetectorQoS(quick bool) (*Table, error) {
 			return amplify.Start(p, nb, amplify.Options{Period: period})
 		}},
 	}
-	var err error
-	for i, r := range rows {
+	qos := runTrials(len(rows), func(i int) check.QoS {
 		res := fdlab.Run(fdlab.Setup{
 			N:           n,
 			Seed:        int64(1200 + i),
 			Net:         net,
 			Crashes:     map[dsys.ProcessID]time.Duration{dsys.ProcessID(n / 2): crashAt},
-			Build:       r.build,
+			Build:       rows[i].build,
 			RunFor:      runFor,
 			SampleEvery: 2 * time.Millisecond,
 		})
-		q := res.Trace.QoS()
+		return res.Trace.QoS()
+	})
+	var err error
+	for i, r := range rows {
+		q := qos[i]
 		worst, avg := "-", "-"
 		if q.WorstDetection >= 0 {
 			worst, avg = msd(q.WorstDetection), msd(q.AvgDetection)

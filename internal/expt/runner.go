@@ -1,0 +1,159 @@
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The experiment suite is embarrassingly parallel: every (seed, network,
+// detector) trial owns a private sim.Kernel, so trials share no mutable state
+// and can fan across GOMAXPROCS goroutines. Determinism is preserved because
+// parallelism only reorders *wall-clock* execution: each trial's virtual run
+// is a function of its seed and configuration alone, and results are
+// collected by trial index, so the assembled Tables are byte-identical to a
+// sequential run (see TestAllParallelDeterminism).
+
+// parallelism is the configured worker count; 0 means "use GOMAXPROCS".
+var parallelism atomic.Int32
+
+// SetParallelism sets how many worker goroutines runTrials fans trials
+// across. n <= 0 resets to the default (GOMAXPROCS). Experiments running
+// concurrently each obey the same setting.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the current worker count.
+func Parallelism() int {
+	if p := parallelism.Load(); p > 0 {
+		return int(p)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runTrials executes trial(0..n-1) across min(Parallelism, n) workers and
+// returns the results ordered by trial index. Each trial must be
+// self-contained (build and run its own sim.Kernel); the deterministic index
+// order of the result slice is what keeps parallel table assembly
+// byte-identical to sequential execution. A panicking trial is re-panicked
+// on the caller's goroutine with the worker's stack attached.
+func runTrials[R any](n int, trial func(i int) R) []R {
+	out := make([]R, n)
+	w := Parallelism()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := range out {
+			out[i] = trial(i)
+		}
+		return out
+	}
+	var (
+		next      int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() {
+						panicked = fmt.Sprintf("expt: trial panicked: %v\n%s", r, debug.Stack())
+					})
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = trial(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
+}
+
+// Experiment is one entry of the suite registry.
+type Experiment struct {
+	// ID is the experiment identifier ("E1".."E13").
+	ID string
+	// Fn runs the experiment (quick mode reduces sweeps).
+	Fn func(quick bool) (*Table, error)
+	// WallClock marks experiments measured on the wall clock (real sockets,
+	// real timers): their cells vary run to run, so they are excluded from
+	// the byte-identical determinism guarantee of the parallel runner.
+	WallClock bool
+}
+
+// Experiments returns the full suite in canonical order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "E1", Fn: E1ClassProperties},
+		{ID: "E2", Fn: E2TransformCorrectness},
+		{ID: "E3", Fn: E3MessagesPerPeriod},
+		{ID: "E4", Fn: E4DetectionLatency},
+		{ID: "E5", Fn: E5RoundCosts},
+		{ID: "E6", Fn: E6RoundsAfterStability},
+		{ID: "E7", Fn: E7NackTolerance},
+		{ID: "E8", Fn: E8MergedPhaseTradeoff},
+		{ID: "E9", Fn: E9AllSelfTrust},
+		{ID: "E10", Fn: E10ConsensusSoak},
+		{ID: "E11", Fn: E11StabilityWindow},
+		{ID: "E12", Fn: E12DetectorQoS},
+		{ID: "E13", Fn: E13MeshChaos, WallClock: true},
+	}
+}
+
+// RunTimed runs one experiment and, when sink is non-nil, records its
+// wall-clock duration and simulator event throughput as a trace.Timing.
+func RunTimed(e Experiment, quick bool, sink *trace.Collector) (*Table, error) {
+	ev0 := sim.TotalEvents()
+	start := time.Now()
+	tb, err := e.Fn(quick)
+	sink.OnTiming(trace.Timing{
+		ID:       e.ID,
+		Wall:     time.Since(start),
+		Events:   sim.TotalEvents() - ev0,
+		Parallel: Parallelism(),
+	})
+	return tb, err
+}
+
+// All runs every experiment and returns the tables plus the first shape
+// error (nil when the full reproduction matches the paper). Trials inside
+// each experiment are fanned across Parallelism() workers.
+func All(quick bool) ([]*Table, error) { return AllTimed(quick, nil) }
+
+// AllTimed is All with per-experiment timings recorded on sink (ignored when
+// nil).
+func AllTimed(quick bool, sink *trace.Collector) ([]*Table, error) {
+	var tables []*Table
+	var firstError error
+	for _, e := range Experiments() {
+		tb, err := RunTimed(e, quick, sink)
+		tables = append(tables, tb)
+		if err != nil && firstError == nil {
+			firstError = err
+		}
+	}
+	return tables, firstError
+}

@@ -47,42 +47,57 @@ func E10ConsensusSoak(quick bool) (*Table, error) {
 			return mrc.Propose(p, omega.StartLeaderBeat(p, omega.Options{}), rb, v, opt)
 		}},
 	}
+	// One trial per (runner, seed), each with its own kernel; fanned across
+	// the worker pool and reduced in deterministic (runner, seed) order.
+	type soakTrial struct {
+		verr   error
+		rounds int
+		dec    time.Duration
+	}
+	results := runTrials(len(runners)*trials, func(i int) soakTrial {
+		r := runners[i/trials]
+		seed := int64(i % trials)
+		n := 5 + 2*int(seed%2) // alternate n=5, n=7
+		crashes := map[dsys.ProcessID]time.Duration{}
+		f := int(seed) % (dsys.MaxFaulty(n) + 1)
+		for j := 0; j < f; j++ {
+			id := dsys.ProcessID((int(seed)*5+j*3)%n + 1)
+			crashes[id] = time.Duration(5+int(seed%7)*11+25*j) * time.Millisecond
+		}
+		res := conslab.Run(conslab.Setup{
+			N:    n,
+			Seed: seed,
+			Net: network.PartiallySynchronous{
+				GST:    60 * time.Millisecond,
+				Delta:  10 * time.Millisecond,
+				PreGST: network.Uniform{Min: 0, Max: 70 * time.Millisecond},
+			},
+			Crashes: crashes,
+			Run:     r.run,
+		})
+		if verr := res.Verify(n); verr != nil {
+			return soakTrial{verr: fmt.Errorf("E10 %s seed %d: %w", r.name, seed, verr)}
+		}
+		return soakTrial{rounds: res.Log.MaxRound(), dec: res.Log.LastDecisionAt()}
+	})
 	var err error
-	for _, r := range runners {
+	for ri, r := range runners {
 		violations, sumRounds, maxRounds := 0, 0, 0
 		var sumDec time.Duration
-		for seed := int64(0); seed < int64(trials); seed++ {
-			n := 5 + 2*int(seed%2) // alternate n=5, n=7
-			crashes := map[dsys.ProcessID]time.Duration{}
-			f := int(seed) % (dsys.MaxFaulty(n) + 1)
-			for i := 0; i < f; i++ {
-				id := dsys.ProcessID((int(seed)*5+i*3)%n + 1)
-				crashes[id] = time.Duration(5+int(seed%7)*11+25*i) * time.Millisecond
-			}
-			res := conslab.Run(conslab.Setup{
-				N:    n,
-				Seed: seed,
-				Net: network.PartiallySynchronous{
-					GST:    60 * time.Millisecond,
-					Delta:  10 * time.Millisecond,
-					PreGST: network.Uniform{Min: 0, Max: 70 * time.Millisecond},
-				},
-				Crashes: crashes,
-				Run:     r.run,
-			})
-			if verr := res.Verify(n); verr != nil {
+		for seed := 0; seed < trials; seed++ {
+			tr := results[ri*trials+seed]
+			if tr.verr != nil {
 				violations++
 				if err == nil {
-					err = fmt.Errorf("E10 %s seed %d: %w", r.name, seed, verr)
+					err = tr.verr
 				}
 				continue
 			}
-			rounds := res.Log.MaxRound()
-			sumRounds += rounds
-			if rounds > maxRounds {
-				maxRounds = rounds
+			sumRounds += tr.rounds
+			if tr.rounds > maxRounds {
+				maxRounds = tr.rounds
 			}
-			sumDec += res.Log.LastDecisionAt()
+			sumDec += tr.dec
 		}
 		okTrials := trials - violations
 		avgR, avgD := "-", "-"
@@ -118,9 +133,13 @@ func E11StabilityWindow(quick bool) (*Table, error) {
 	}
 	n := 5
 	windowStart := 300 * time.Millisecond
-	var decided []bool
-	var err error
-	for _, w := range windows {
+	type windowTrial struct {
+		all    bool
+		lastAt time.Duration
+		rounds int
+	}
+	results := runTrials(len(windows), func(i int) windowTrial {
+		w := windows[i]
 		c := fdtest.NewCluster(n, 0)
 		unstable := func() {
 			// Outside the window: nobody trusts itself (no coordinator can
@@ -151,14 +170,22 @@ func E11StabilityWindow(quick bool) (*Table, error) {
 				k.ScheduleFunc(windowStart+w, func(time.Duration) { unstable() })
 			},
 		})
-		all := res.Log.DecidedCount() == n
-		decided = append(decided, all)
-		cell, rounds := "-", "-"
-		if all {
-			cell = msd(res.Log.LastDecisionAt())
-			rounds = fmt.Sprint(res.Log.MaxRound())
+		return windowTrial{
+			all:    res.Log.DecidedCount() == n,
+			lastAt: res.Log.LastDecisionAt(),
+			rounds: res.Log.MaxRound(),
 		}
-		t.AddRow(msd(w), mark(all), cell, rounds)
+	})
+	var decided []bool
+	var err error
+	for i, r := range results {
+		decided = append(decided, r.all)
+		cell, rounds := "-", "-"
+		if r.all {
+			cell = msd(r.lastAt)
+			rounds = fmt.Sprint(r.rounds)
+		}
+		t.AddRow(msd(windows[i]), mark(r.all), cell, rounds)
 	}
 	// Shape: long windows succeed; the longest must succeed, and success
 	// must be monotone-ish (once a window length works, longer ones do too).
@@ -178,25 +205,4 @@ func E11StabilityWindow(quick bool) (*Table, error) {
 	}
 	t.Notes = append(t.Notes, "outside the window nobody trusts itself (no new coordinator) and everyone falsely suspects p1 (in-flight rounds collapse into nacks); the window must cover roughly one full round for the decision to land")
 	return t, err
-}
-
-// All runs every experiment and returns the tables plus the first shape
-// error (nil when the full reproduction matches the paper).
-func All(quick bool) ([]*Table, error) {
-	type exp func(bool) (*Table, error)
-	var tables []*Table
-	var firstError error
-	for _, e := range []exp{
-		E1ClassProperties, E2TransformCorrectness, E3MessagesPerPeriod,
-		E4DetectionLatency, E5RoundCosts, E6RoundsAfterStability,
-		E7NackTolerance, E8MergedPhaseTradeoff, E9AllSelfTrust,
-		E10ConsensusSoak, E11StabilityWindow, E12DetectorQoS, E13MeshChaos,
-	} {
-		tb, err := e(quick)
-		tables = append(tables, tb)
-		if err != nil && firstError == nil {
-			firstError = err
-		}
-	}
-	return tables, firstError
 }

@@ -11,6 +11,7 @@ import (
 	"io"
 	"strings"
 	"time"
+	"unicode/utf8"
 )
 
 // Table is a formatted experiment result.
@@ -46,12 +47,12 @@ func (t *Table) Fprint(w io.Writer) {
 	}
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = cellWidth(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if i < len(widths) && cellWidth(cell) > widths[i] {
+				widths[i] = cellWidth(cell)
 			}
 		}
 	}
@@ -77,11 +78,17 @@ func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// cellWidth is the display width of a cell in runes. Byte length (len) would
+// treat multi-byte cells like "◇C" or "Ω" as wider than they render and
+// misalign every column after them. (Combining marks and double-width CJK
+// runes are not in the experiment vocabulary, so rune count is exact here.)
+func cellWidth(s string) int { return utf8.RuneCountInString(s) }
+
 func pad(s string, w int) string {
-	if len(s) >= w {
+	if cellWidth(s) >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-cellWidth(s))
 }
 
 // checkf returns an error tagged with the experiment id when cond is false.

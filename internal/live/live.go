@@ -53,6 +53,15 @@ type Cluster struct {
 	rng   *rand.Rand
 	wg    sync.WaitGroup
 
+	// timers tracks the in-flight delayed-delivery timers (Send with a
+	// positive network latency), keyed by timer with the destination process
+	// as value. Crash stops the timers aimed at the crashed process; Stop
+	// stops them all — otherwise every pending time.AfterFunc would stay live
+	// past shutdown and fire its callback into a stopped cluster.
+	timersMu     sync.Mutex
+	timers       map[*time.Timer]dsys.ProcessID
+	timersClosed bool
+
 	stopOnce sync.Once
 }
 
@@ -96,10 +105,11 @@ func NewCluster(cfg Config) *Cluster {
 		cfg.Network = network.Reliable{Latency: network.Uniform{Min: time.Millisecond, Max: 5 * time.Millisecond}}
 	}
 	c := &Cluster{
-		cfg:   cfg,
-		start: time.Now(),
-		pids:  dsys.Pids(cfg.N),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:    cfg,
+		start:  time.Now(),
+		pids:   dsys.Pids(cfg.N),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		timers: make(map[*time.Timer]dsys.ProcessID),
 	}
 	c.procs = make([]*lproc, cfg.N)
 	for i := range c.procs {
@@ -148,8 +158,32 @@ func (c *Cluster) Crash(id dsys.ProcessID) {
 	if already {
 		return
 	}
+	c.stopTimers(func(to dsys.ProcessID) bool { return to == id })
 	p.cond.Broadcast()
 	c.cfg.Trace.OnCrash(id, time.Since(c.start))
+}
+
+// stopTimers stops and forgets every tracked delay timer whose destination
+// matches. When closeAll is requested via Stop, the map is also marked closed
+// so no further timers are scheduled.
+func (c *Cluster) stopTimers(match func(to dsys.ProcessID) bool) {
+	c.timersMu.Lock()
+	defer c.timersMu.Unlock()
+	for tm, to := range c.timers {
+		if match(to) {
+			tm.Stop()
+			delete(c.timers, tm)
+		}
+	}
+}
+
+// PendingDelayTimers reports how many delayed-delivery timers are currently
+// outstanding — zero after Stop, and zero of a crashed process's inbound
+// messages. Exposed for leak regression tests.
+func (c *Cluster) PendingDelayTimers() int {
+	c.timersMu.Lock()
+	defer c.timersMu.Unlock()
+	return len(c.timers)
 }
 
 // Crashed reports whether id has crashed.
@@ -174,6 +208,10 @@ func (c *Cluster) Stop() {
 			}
 			p.cond.Broadcast()
 		}
+		c.timersMu.Lock()
+		c.timersClosed = true
+		c.timersMu.Unlock()
+		c.stopTimers(func(dsys.ProcessID) bool { return true })
 	})
 	c.wg.Wait()
 }
@@ -267,8 +305,31 @@ func (v taskView) Send(to dsys.ProcessID, kind string, payload any) {
 	if delay <= 0 {
 		c.Inject(m)
 	} else {
-		time.AfterFunc(delay, func() { c.Inject(m) })
+		c.injectAfter(delay, m)
 	}
+}
+
+// injectAfter delivers m after the network delay on a tracked timer, so
+// Crash/Stop can cancel it. The callback takes timersMu before reading tm,
+// which both publishes the handle (the callback can fire before AfterFunc
+// returns) and orders it against concurrent stopTimers calls.
+func (c *Cluster) injectAfter(delay time.Duration, m *dsys.Message) {
+	c.timersMu.Lock()
+	defer c.timersMu.Unlock()
+	if c.timersClosed {
+		return
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(delay, func() {
+		c.timersMu.Lock()
+		_, live := c.timers[tm]
+		delete(c.timers, tm)
+		c.timersMu.Unlock()
+		if live {
+			c.Inject(m)
+		}
+	})
+	c.timers[tm] = m.To
 }
 
 // Inject delivers a message into the destination process's mailbox,

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/dsys"
 	"repro/internal/live"
+	"repro/internal/network"
 	"repro/internal/trace"
 )
 
@@ -135,5 +136,72 @@ func TestRandUint64Path(t *testing.T) {
 		case <-time.After(10 * time.Second):
 			t.Fatal("rand tasks hung")
 		}
+	}
+}
+
+// TestDelayTimersStoppedOnStop is the leak regression for delayed Sends:
+// time.AfterFunc delivery timers used to stay live after Stop, firing their
+// callbacks into a shut-down cluster. Now Stop cancels them all, and no
+// delivery is recorded after Stop returns.
+func TestDelayTimersStoppedOnStop(t *testing.T) {
+	col := trace.NewCollector()
+	slow := network.Reliable{Latency: network.Fixed(200 * time.Millisecond)}
+	c := live.NewCluster(live.Config{N: 2, Network: slow, Trace: col})
+	started := make(chan struct{})
+	c.Spawn(1, "burst", func(p dsys.Proc) {
+		for i := 0; i < 64; i++ {
+			p.Send(2, "slow", i)
+		}
+		close(started)
+		p.Sleep(time.Hour)
+	})
+	<-started
+	if n := c.PendingDelayTimers(); n == 0 {
+		t.Fatal("expected pending delay timers while messages are in flight")
+	}
+	c.Stop()
+	if n := c.PendingDelayTimers(); n != 0 {
+		t.Fatalf("%d delay timers still pending after Stop", n)
+	}
+	delivered := col.Delivered("slow")
+	time.Sleep(300 * time.Millisecond) // past the network latency
+	if after := col.Delivered("slow"); after != delivered {
+		t.Fatalf("deliveries kept arriving after Stop: %d -> %d", delivered, after)
+	}
+}
+
+// TestDelayTimersStoppedOnCrash verifies Crash cancels the in-flight timers
+// aimed at the crashed process (their deliveries would be discarded anyway)
+// while leaving other destinations' timers running.
+func TestDelayTimersStoppedOnCrash(t *testing.T) {
+	col := trace.NewCollector()
+	slow := network.Reliable{Latency: network.Fixed(150 * time.Millisecond)}
+	c := live.NewCluster(live.Config{N: 3, Network: slow, Trace: col})
+	defer c.Stop()
+	sent := make(chan struct{})
+	c.Spawn(1, "burst", func(p dsys.Proc) {
+		for i := 0; i < 32; i++ {
+			p.Send(2, "doomed", i)
+			p.Send(3, "kept", i)
+		}
+		close(sent)
+		p.Sleep(time.Hour)
+	})
+	<-sent
+	before := c.PendingDelayTimers()
+	c.Crash(2)
+	after := c.PendingDelayTimers()
+	if after >= before {
+		t.Fatalf("Crash(2) stopped no timers: %d -> %d pending", before, after)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Delivered("kept") < 32 {
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor deliveries incomplete: %d of 32", col.Delivered("kept"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := col.Delivered("doomed"); got != 0 {
+		t.Fatalf("%d messages delivered to the crashed process", got)
 	}
 }

@@ -1,6 +1,28 @@
 package sim
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/dsys"
+)
+
+// eventKind discriminates what an event does when it fires. The hot kinds
+// (message delivery, sleep/timeout timers) carry their operands in dedicated
+// event fields instead of a closure, so scheduling them allocates nothing
+// beyond the heap slot itself — see the allocs/event benchmarks in
+// bench_test.go.
+type eventKind uint8
+
+const (
+	// evFunc runs fn — the generic cold path (harness hooks, crashes, Every).
+	evFunc eventKind = iota
+	// evDeliver delivers msg to its destination process.
+	evDeliver
+	// evSleep wakes task t if it is still parked in park generation gen.
+	evSleep
+	// evTimeout is evSleep plus marking the wake as a timeout expiry.
+	evTimeout
+)
 
 // event is a scheduled kernel action: a message delivery, a timer wake-up, a
 // crash, or a harness hook. Events fire in (at, seq) order, so simultaneous
@@ -8,12 +30,18 @@ import "time"
 type event struct {
 	at  time.Duration
 	seq uint64
-	fn  func()
+
+	kind eventKind
+	fn   func()        // evFunc
+	msg  *dsys.Message // evDeliver
+	t    *task         // evSleep, evTimeout
+	gen  uint64        // evSleep, evTimeout: park generation guard
 }
 
 // eventHeap is a binary min-heap of events ordered by (at, seq). It is
 // implemented directly (rather than via container/heap) to avoid interface
-// boxing on the simulator's hottest path.
+// boxing on the simulator's hottest path, and it stores events by value so
+// the only steady-state allocation is the amortized slice growth.
 type eventHeap struct {
 	es []event
 }
@@ -46,7 +74,7 @@ func (h *eventHeap) pop() event {
 	top := h.es[0]
 	last := len(h.es) - 1
 	h.es[0] = h.es[last]
-	h.es[last] = event{} // release closure
+	h.es[last] = event{} // release closure and message references
 	h.es = h.es[:last]
 	i := 0
 	for {

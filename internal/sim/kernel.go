@@ -19,12 +19,22 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dsys"
 	"repro/internal/network"
 	"repro/internal/trace"
 )
+
+// totalEvents accumulates events fired by every kernel in the process; each
+// Run flushes its local counter here when it finishes. The experiment harness
+// reads the delta around an experiment to report events/sec.
+var totalEvents atomic.Uint64
+
+// TotalEvents returns the number of simulator events fired across all
+// completed kernel runs in this process.
+func TotalEvents() uint64 { return totalEvents.Load() }
 
 // Config parameterizes a simulation.
 type Config struct {
@@ -58,6 +68,7 @@ type Kernel struct {
 	procs  []*proc
 	pids   []dsys.ProcessID
 	netRNG *rand.Rand
+	events uint64
 	// stopping marks the final unwind phase; primitives refuse to block and
 	// sends become no-ops.
 	stopping bool
@@ -92,6 +103,9 @@ func New(cfg Config) *Kernel {
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() time.Duration { return k.now }
+
+// Events returns the number of events this kernel has fired so far.
+func (k *Kernel) Events() uint64 { return k.events }
 
 // N returns the number of processes.
 func (k *Kernel) N() int { return k.cfg.N }
@@ -168,6 +182,7 @@ func (k *Kernel) Run(until time.Duration) time.Duration {
 		panic("sim: Run called twice")
 	}
 	k.ran = true
+	defer func() { totalEvents.Add(k.events) }()
 	for k.fatal == nil {
 		if len(k.runq) > 0 {
 			t := k.runq[0]
@@ -190,7 +205,8 @@ func (k *Kernel) Run(until time.Duration) time.Duration {
 		if ev.at > k.now {
 			k.now = ev.at
 		}
-		ev.fn()
+		k.events++
+		k.fire(ev)
 	}
 	k.unwindAll()
 	if k.fatal != nil {
@@ -205,12 +221,50 @@ func (k *Kernel) runTask(t *task) {
 	<-k.bell
 }
 
-func (k *Kernel) scheduleEvent(at time.Duration, fn func()) {
+// fire executes one popped event.
+func (k *Kernel) fire(ev event) {
+	switch ev.kind {
+	case evFunc:
+		ev.fn()
+	case evDeliver:
+		k.deliver(ev.msg)
+	case evSleep, evTimeout:
+		// A stale timer (the task was woken by a message or re-parked since)
+		// is recognized by its park generation and ignored.
+		t := ev.t
+		if t.state == taskParked && t.parkGen == ev.gen {
+			if ev.kind == evTimeout {
+				t.wakeTimeout = true
+			}
+			k.wake(t)
+		}
+	}
+}
+
+func (k *Kernel) schedule(at time.Duration, e event) {
 	if at < k.now {
 		at = k.now
 	}
 	k.seq++
-	k.eq.push(event{at: at, seq: k.seq, fn: fn})
+	e.at = at
+	e.seq = k.seq
+	k.eq.push(e)
+}
+
+func (k *Kernel) scheduleEvent(at time.Duration, fn func()) {
+	k.schedule(at, event{kind: evFunc, fn: fn})
+}
+
+// scheduleDeliver enqueues a message delivery without allocating a closure —
+// the per-send fast path.
+func (k *Kernel) scheduleDeliver(at time.Duration, m *dsys.Message) {
+	k.schedule(at, event{kind: evDeliver, msg: m})
+}
+
+// scheduleTimer enqueues a task wake-up (Sleep or RecvTimeout) without
+// allocating a closure — the per-timer fast path.
+func (k *Kernel) scheduleTimer(at time.Duration, kind eventKind, t *task, gen uint64) {
+	k.schedule(at, event{kind: kind, t: t, gen: gen})
 }
 
 func (k *Kernel) wake(t *task) {

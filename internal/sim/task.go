@@ -99,7 +99,7 @@ func (v taskView) Send(to dsys.ProcessID, kind string, payload any) {
 	m := &dsys.Message{From: p.id, To: to, Kind: kind, Payload: payload, SentAt: k.now}
 	if to == p.id {
 		k.cfg.Trace.OnSend(m, false)
-		k.scheduleEvent(k.now+k.cfg.SelfDelay, func() { k.deliver(m) })
+		k.scheduleDeliver(k.now+k.cfg.SelfDelay, m)
 		return
 	}
 	// Networks supporting duplication deliver one copy per planned latency.
@@ -110,7 +110,7 @@ func (v taskView) Send(to dsys.ProcessID, kind string, payload any) {
 			if delay < 0 {
 				delay = 0
 			}
-			k.scheduleEvent(k.now+delay, func() { k.deliver(m) })
+			k.scheduleDeliver(k.now+delay, m)
 		}
 		return
 	}
@@ -122,7 +122,7 @@ func (v taskView) Send(to dsys.ProcessID, kind string, payload any) {
 	if delay < 0 {
 		delay = 0
 	}
-	k.scheduleEvent(k.now+delay, func() { k.deliver(m) })
+	k.scheduleDeliver(k.now+delay, m)
 }
 
 func (v taskView) Recv(match dsys.MatchFunc) (*dsys.Message, bool) {
@@ -150,14 +150,8 @@ func (v taskView) RecvTimeout(match dsys.MatchFunc, d time.Duration) (*dsys.Mess
 	}
 	k := t.p.k
 	t.parkGen++
-	gen := t.parkGen
 	t.match = match
-	k.scheduleEvent(k.now+d, func() {
-		if t.state == taskParked && t.parkGen == gen {
-			t.wakeTimeout = true
-			k.wake(t)
-		}
-	})
+	k.scheduleTimer(k.now+d, evTimeout, t, t.parkGen)
 	t.park()
 	m := t.wakeMsg
 	t.wakeMsg = nil
@@ -173,12 +167,7 @@ func (v taskView) Sleep(d time.Duration) {
 	}
 	k := t.p.k
 	t.parkGen++
-	gen := t.parkGen
-	k.scheduleEvent(k.now+d, func() {
-		if t.state == taskParked && t.parkGen == gen {
-			k.wake(t)
-		}
-	})
+	k.scheduleTimer(k.now+d, evSleep, t, t.parkGen)
 	t.park()
 }
 

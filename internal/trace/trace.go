@@ -38,6 +38,25 @@ type Collector struct {
 	crashes   map[dsys.ProcessID]time.Duration
 	link      map[string]int
 	linkLog   []LinkEvent
+	timings   []Timing
+}
+
+// Timing is one experiment's runtime profile, recorded by the expt runner:
+// wall-clock duration, simulator events fired, and the worker count the
+// trials were fanned across.
+type Timing struct {
+	ID       string
+	Wall     time.Duration
+	Events   uint64
+	Parallel int
+}
+
+// EventsPerSec returns the simulator event throughput of the run.
+func (t Timing) EventsPerSec() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.Events) / t.Wall.Seconds()
 }
 
 // LinkEvent is one transport-level event on a directed link: a connection
@@ -122,6 +141,25 @@ func (c *Collector) OnLink(event string, from, to dsys.ProcessID, at time.Durati
 	if c.LogMessages {
 		c.linkLog = append(c.linkLog, LinkEvent{At: at, Event: event, From: from, To: to})
 	}
+}
+
+// OnTiming records one experiment's runtime profile.
+func (c *Collector) OnTiming(t Timing) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timings = append(c.timings, t)
+}
+
+// Timings returns a copy of the recorded experiment timings.
+func (c *Collector) Timings() []Timing {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Timing, len(c.timings))
+	copy(out, c.timings)
+	return out
 }
 
 // LinkEvents returns how many transport events of the given name occurred.
