@@ -123,6 +123,22 @@ func BenchmarkE13MeshChaos(b *testing.B) {
 	runExperiment(b, expt.E13MeshChaos)
 }
 
+func BenchmarkE14ScalingSweep(b *testing.B) {
+	tb := runExperiment(b, expt.E14ScalingSweep)
+	// Headline: msgs/period at the largest n — Θ(n²) for CT ◇P versus Θ(n)
+	// for the transformation (rows are grouped per n: heartbeat, ring,
+	// transform).
+	if len(tb.Rows) >= 3 {
+		hb, tf := tb.Rows[len(tb.Rows)-3], tb.Rows[len(tb.Rows)-1]
+		if v, err := strconv.ParseFloat(hb[2], 64); err == nil {
+			b.ReportMetric(v, "ctP-msgs/period-max-n")
+		}
+		if v, err := strconv.ParseFloat(tf[2], 64); err == nil {
+			b.ReportMetric(v, "transform-msgs/period-max-n")
+		}
+	}
+}
+
 // --- Ablation benchmarks (DESIGN.md "key design decisions") ---
 
 // BenchmarkAblationAdaptiveTimeout compares false-suspicion counts of the

@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` text output into a stable JSON
+// document, so benchmark numbers can be committed as baselines (BENCH_PR3.json)
+// and diffed across revisions or CI runs without scraping free-form text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench=. -benchmem ./... | benchjson -o BENCH.json
+//	benchjson -o BENCH.json bench_output.txt
+//
+// Every `Benchmark...` result line becomes one entry: the name (GOMAXPROCS
+// suffix stripped), the iteration count, and a metrics map of every
+// value/unit pair on the line — ns/op, B/op, allocs/op and any custom
+// b.ReportMetric units such as events/s or allocs/event.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkKernelPingPong-4   300   4123456 ns/op   1845000 events/s   16 B/op   2 allocs/op
+//
+// returning ok=false for non-benchmark lines (headers, PASS/ok, logs).
+func parseLine(line string) (benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break // not a value/unit pair; stop at trailing annotations
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func run(in io.Reader, out io.Writer) error {
+	doc := document{Benchmarks: []benchmark{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func main() {
+	outPath := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := run(in, out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkKernelTimerThroughput-4  \t 3\t 168305392 ns/op\t 0.02750 allocs/event\t 2430000 events/s\t 4625045 B/op\t 63973 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if b.Name != "BenchmarkKernelTimerThroughput" {
+		t.Errorf("name = %q; GOMAXPROCS suffix not stripped", b.Name)
+	}
+	if b.Iterations != 3 {
+		t.Errorf("iterations = %d, want 3", b.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 168305392, "allocs/event": 0.0275, "events/s": 2430000,
+		"B/op": 4625045, "allocs/op": 63973,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("metric %q = %v, want %v", unit, got, want)
+		}
+	}
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t12.3s",
+		"BenchmarkBroken-4 notanumber ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("non-result line parsed as benchmark: %q", line)
+		}
+	}
+}
+
+func TestRunEmitsDocument(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+BenchmarkA-8    100    50 ns/op    7 B/op    1 allocs/op
+BenchmarkB      200    25 ns/op
+PASS
+`)
+	var out strings.Builder
+	if err := run(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{`"BenchmarkA"`, `"BenchmarkB"`, `"ns/op": 50`, `"iterations": 200`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %s:\n%s", want, got)
+		}
+	}
+}

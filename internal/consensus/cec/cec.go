@@ -150,12 +150,12 @@ func propose(p dsys.Proc, d fd.EventuallyConsistent, rb *rbcast.Module, v any, o
 func (st *state) spawnResponder(p dsys.Proc) {
 	dec := *st.decided
 	inst := st.opt.Instance
-	match := func(m *dsys.Message) bool {
+	match := dsys.MatchFunc(func(m *dsys.Message) bool {
 		if m.Kind == KindDecided || !st.matchAll(m) {
 			return false // never answer another responder
 		}
 		return true
-	}
+	})
 	p.Spawn("cec-responder", func(p dsys.Proc) {
 		for {
 			m, ok := p.Recv(match)

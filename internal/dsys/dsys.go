@@ -14,6 +14,8 @@ package dsys
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -45,18 +47,87 @@ type Message struct {
 	SentAt time.Duration
 }
 
-// MatchFunc selects messages from a process's receive buffer. It must be a
+// Matcher selects messages from a process's receive buffer. Match must be a
 // pure function of the message (no side effects): runtimes may call it
-// speculatively against buffered or newly arrived messages.
+// speculatively against buffered or newly arrived messages, or not at all
+// when a faster dispatch path (see KindMatcher) answers the question.
+type Matcher interface {
+	// Match reports whether the matcher accepts m.
+	Match(m *Message) bool
+}
+
+// MatchFunc adapts an arbitrary predicate to the Matcher interface — the
+// generic slow path of receive dispatch. Wrap inline predicates as
+// dsys.MatchFunc(func(m *dsys.Message) bool { ... }).
 type MatchFunc func(*Message) bool
 
-// MatchKind returns a MatchFunc accepting any message of the given kind.
-func MatchKind(kind string) MatchFunc {
-	return func(m *Message) bool { return m.Kind == kind }
+// Match implements Matcher.
+func (f MatchFunc) Match(m *Message) bool { return f(m) }
+
+// KindMatcher is the optional fast-dispatch interface: a Matcher that
+// accepts exactly the messages of one kind, and nothing else. Runtimes probe
+// matchers for it so they can index parked tasks and receive buffers by
+// message kind and dispatch the common case in O(1) instead of scanning
+// every parked predicate; arbitrary MatchFuncs keep the linear slow path.
+type KindMatcher interface {
+	Matcher
+	// MatchedKind returns the one message kind the matcher accepts.
+	MatchedKind() string
+}
+
+// KindMatch is the Matcher accepting exactly the messages of one kind. It
+// implements KindMatcher, so receives through it take the runtimes'
+// kind-indexed fast path.
+type KindMatch string
+
+// Match implements Matcher.
+func (k KindMatch) Match(m *Message) bool { return m.Kind == string(k) }
+
+// MatchedKind implements KindMatcher.
+func (k KindMatch) MatchedKind() string { return string(k) }
+
+// kindMatchers interns the KindMatcher of every kind ever requested, so the
+// ubiquitous Recv(MatchKind(kind)) inside a receive loop does not pay an
+// interface-boxing allocation per call. Message kinds are a small static set
+// of protocol constants, so the table stays tiny; it is published
+// copy-on-write through an atomic pointer so the hot read path is one plain
+// map lookup with no locking.
+var (
+	kindMatchers   atomic.Pointer[map[string]KindMatcher]
+	kindMatchersMu sync.Mutex
+)
+
+// MatchKind returns the matcher accepting any message of the given kind.
+// The returned value is interned: calling MatchKind in a hot receive loop
+// allocates nothing after the first call for a kind.
+func MatchKind(kind string) KindMatcher {
+	if m := kindMatchers.Load(); m != nil {
+		if v, ok := (*m)[kind]; ok {
+			return v
+		}
+	}
+	kindMatchersMu.Lock()
+	defer kindMatchersMu.Unlock()
+	old := kindMatchers.Load()
+	if old != nil {
+		if v, ok := (*old)[kind]; ok {
+			return v
+		}
+	}
+	next := make(map[string]KindMatcher)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	v := KindMatcher(KindMatch(kind))
+	next[kind] = v
+	kindMatchers.Store(&next)
+	return v
 }
 
 // MatchAny accepts every message.
-func MatchAny(*Message) bool { return true }
+var MatchAny Matcher = MatchFunc(func(*Message) bool { return true })
 
 // TaskFunc is the body of a task. It runs until it returns, the process
 // crashes, or the run is stopped; in the latter two cases the runtime unwinds
@@ -89,11 +160,12 @@ type Proc interface {
 	// removes it from the buffer and returns it. The returned flag is false
 	// only when the task is being unwound (crash or stop); in that case the
 	// runtime unwinds the task before the caller can observe it, so callers
-	// may ignore the flag.
-	Recv(match MatchFunc) (*Message, bool)
+	// may ignore the flag. Matchers implementing KindMatcher (such as
+	// MatchKind's result) dispatch through the runtime's kind index.
+	Recv(match Matcher) (*Message, bool)
 	// RecvTimeout is Recv with a deadline d from now. It returns ok=false
 	// with a nil message if the deadline elapses first.
-	RecvTimeout(match MatchFunc, d time.Duration) (*Message, bool)
+	RecvTimeout(match Matcher, d time.Duration) (*Message, bool)
 	// Sleep suspends the task for d.
 	Sleep(d time.Duration)
 	// Spawn starts a new task of the same process. Spawned tasks are

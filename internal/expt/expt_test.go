@@ -38,6 +38,7 @@ func TestE10(t *testing.T) { runExp(t, "E10", E10ConsensusSoak) }
 func TestE11(t *testing.T) { runExp(t, "E11", E11StabilityWindow) }
 func TestE12(t *testing.T) { runExp(t, "E12", E12DetectorQoS) }
 func TestE13(t *testing.T) { runExp(t, "E13", E13MeshChaos) }
+func TestE14(t *testing.T) { runExp(t, "E14", E14ScalingSweep) }
 
 // TestTableNonASCIIAlignment is the regression for pad measuring width in
 // bytes: multi-byte cells like "◇P" (3-byte runes) made len(s) overshoot the

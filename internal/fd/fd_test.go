@@ -166,10 +166,10 @@ func TestQuickEqualIsEquivalenceOnRandomSets(t *testing.T) {
 
 func TestMatchKind(t *testing.T) {
 	m := &dsys.Message{Kind: "x"}
-	if !dsys.MatchKind("x")(m) || dsys.MatchKind("y")(m) {
+	if !dsys.MatchKind("x").Match(m) || dsys.MatchKind("y").Match(m) {
 		t.Error("MatchKind wrong")
 	}
-	if !dsys.MatchAny(m) {
+	if !dsys.MatchAny.Match(m) {
 		t.Error("MatchAny wrong")
 	}
 }

@@ -32,6 +32,12 @@ type Setup struct {
 	SampleEvery time.Duration
 	// RunFor is the virtual duration of the run (default 2s).
 	RunFor time.Duration
+	// CountWindow, when non-zero, puts the trace collector in windowed-count
+	// mode: per-kind sends are tallied for [CountWindow[0], CountWindow[1])
+	// (read back via Result.Messages.SentWithin) and the per-message log is
+	// disabled. Large-n sweeps need this — logging every send of an n²
+	// detector at n=256 costs hundreds of MB and dominates the wall clock.
+	CountWindow [2]time.Duration
 }
 
 // Result is a completed detector run.
@@ -41,6 +47,12 @@ type Result struct {
 	End      time.Duration
 	// Modules holds each process's detector handle, for stats queries.
 	Modules map[dsys.ProcessID]any
+	// Events is the number of simulator events the run fired.
+	Events uint64
+	// Wall is the wall-clock duration of the run — nondeterministic, so it
+	// must only feed throughput reporting, never table cells that the
+	// byte-identical determinism guarantee covers.
+	Wall time.Duration
 }
 
 // Run executes the setup and returns the recorded trace.
@@ -52,6 +64,10 @@ func Run(s Setup) Result {
 		s.RunFor = 2 * time.Second
 	}
 	col := trace.NewCollector()
+	if s.CountWindow != ([2]time.Duration{}) {
+		col.LogMessages = false
+		col.SetCountWindow(s.CountWindow[0], s.CountWindow[1])
+	}
 	k := sim.New(sim.Config{N: s.N, Network: s.Net, Seed: s.Seed, Trace: col})
 	rec := check.NewFDRecorder(s.N)
 	modules := make(map[dsys.ProcessID]any, s.N)
@@ -67,12 +83,15 @@ func Run(s Setup) Result {
 		k.CrashAt(id, at)
 	}
 	rec.Attach(k, s.SampleEvery, s.SampleEvery)
+	start := time.Now()
 	end := k.Run(s.RunFor)
 	return Result{
 		Trace:    check.FDTrace{N: s.N, Rec: rec, Crashed: col.Crashed()},
 		Messages: col,
 		End:      end,
 		Modules:  modules,
+		Events:   k.Events(),
+		Wall:     time.Since(start),
 	}
 }
 

@@ -227,7 +227,7 @@ func (d *Detector) beatTask(p dsys.Proc) {
 }
 
 func (d *Detector) recvTask(p dsys.Proc) {
-	match := func(m *dsys.Message) bool { return m.Kind == KindBeat || m.Kind == KindWatch }
+	match := dsys.MatchFunc(func(m *dsys.Message) bool { return m.Kind == KindBeat || m.Kind == KindWatch })
 	for {
 		m, ok := p.Recv(match)
 		if !ok {

@@ -347,7 +347,7 @@ func (c *Cluster) Inject(m *dsys.Message) {
 	dst.cond.Broadcast()
 }
 
-func (v taskView) Recv(match dsys.MatchFunc) (*dsys.Message, bool) {
+func (v taskView) Recv(match dsys.Matcher) (*dsys.Message, bool) {
 	p := v.p
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -362,7 +362,7 @@ func (v taskView) Recv(match dsys.MatchFunc) (*dsys.Message, bool) {
 	}
 }
 
-func (v taskView) RecvTimeout(match dsys.MatchFunc, d time.Duration) (*dsys.Message, bool) {
+func (v taskView) RecvTimeout(match dsys.Matcher, d time.Duration) (*dsys.Message, bool) {
 	p := v.p
 	deadline := time.Now().Add(d)
 	// The callback must broadcast while holding p.mu: an unlocked broadcast
@@ -392,10 +392,15 @@ func (v taskView) RecvTimeout(match dsys.MatchFunc, d time.Duration) (*dsys.Mess
 }
 
 // takeLocked removes and returns the first buffered message matching match.
-func (p *lproc) takeLocked(match dsys.MatchFunc) *dsys.Message {
+func (p *lproc) takeLocked(match dsys.Matcher) *dsys.Message {
 	for i, m := range p.buf {
-		if match(m) {
-			p.buf = append(p.buf[:i], p.buf[i+1:]...)
+		if match.Match(m) {
+			copy(p.buf[i:], p.buf[i+1:])
+			// Nil the vacated tail slot: the shift leaves a stale duplicate
+			// of the last pointer there, which would keep the message alive
+			// past its consumption.
+			p.buf[len(p.buf)-1] = nil
+			p.buf = p.buf[:len(p.buf)-1]
 			return m
 		}
 	}

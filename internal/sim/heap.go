@@ -31,11 +31,16 @@ type event struct {
 	at  time.Duration
 	seq uint64
 
+	fn  func()        // evFunc
+	msg *dsys.Message // evDeliver
+	t   *task         // evSleep, evTimeout
+	// gen is the park-generation guard of evSleep/evTimeout. uint32 keeps
+	// the event at 48 bytes (a task would need 2^32 parks in one run to wrap,
+	// orders of magnitude beyond the longest soak); events flow through slot
+	// arrays, cascades and the due-set heap by value, so their size is a
+	// direct memory-bandwidth and allocation cost.
+	gen  uint32
 	kind eventKind
-	fn   func()        // evFunc
-	msg  *dsys.Message // evDeliver
-	t    *task         // evSleep, evTimeout
-	gen  uint64        // evSleep, evTimeout: park generation guard
 }
 
 // eventHeap is a binary min-heap of events ordered by (at, seq). It is

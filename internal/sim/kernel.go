@@ -57,13 +57,37 @@ type Config struct {
 // Spawn, inject faults with CrashAt, then call Run. Kernel is not safe for
 // concurrent use; everything happens on the caller's goroutine plus the
 // cooperative task goroutines.
+//
+// Scheduling is baton-passing: exactly one goroutine at a time — the Run
+// caller or one task — holds the baton and executes the dispatch loop
+// (dispatch). A parking task runs the loop inline and hands the baton
+// directly to the next task, so a park/wake cycle costs one channel handoff
+// instead of the two of a dedicated scheduler goroutine, and re-selecting
+// the task that just parked costs none. The order in which events fire and
+// tasks run is exactly the order the old dedicated-goroutine scheduler
+// produced; only the goroutine executing the loop differs, which no
+// simulated code can observe.
 type Kernel struct {
 	cfg    Config
 	now    time.Duration
+	until  time.Duration
 	seq    uint64
 	taskID int
-	eq     eventHeap
-	runq   []*task
+	eq     eventQueue
+	// runq is a head-indexed FIFO: popped entries advance runqHead (nilling
+	// the slot) and the slice resets to [:0] when drained, so the backing
+	// array is reused instead of crawling forward and reallocating on every
+	// append (the runq = runq[1:] pattern this replaces was a steady
+	// growslice source in profiles).
+	runq     []*task
+	runqHead int
+	// current is the task whose goroutine holds the baton (nil when the Run
+	// goroutine holds it).
+	current *task
+	// main wakes the Run goroutine when the run is over (quiescence,
+	// deadline, or a fatal task panic).
+	main chan struct{}
+	// bell answers the synchronous unwind handshake of unwindTask.
 	bell   chan struct{}
 	procs  []*proc
 	pids   []dsys.ProcessID
@@ -85,20 +109,29 @@ func New(cfg Config) *Kernel {
 		panic("sim: Config.Network is required")
 	}
 	k := &Kernel{
-		cfg:    cfg,
-		bell:   make(chan struct{}),
-		pids:   dsys.Pids(cfg.N),
-		netRNG: rand.New(rand.NewSource(cfg.Seed)),
+		cfg:  cfg,
+		main: make(chan struct{}),
+		bell: make(chan struct{}),
+		pids: dsys.Pids(cfg.N),
 	}
 	k.procs = make([]*proc, cfg.N)
 	for i := range k.procs {
-		k.procs[i] = &proc{
-			k:   k,
-			id:  dsys.ProcessID(i + 1),
-			rng: rand.New(rand.NewSource(cfg.Seed ^ int64(0x9e3779b97f4a7c15*uint64(i+1)))),
-		}
+		k.procs[i] = &proc{k: k, id: dsys.ProcessID(i + 1)}
 	}
 	return k
+}
+
+// netRand returns the network randomness source, seeding it on first use.
+// Seeding a math/rand source fills a 607-word state table — too expensive to
+// pay n+1 times up front in New when many runs (and benchmarked kernel
+// constructions) never draw a network or process random number. Laziness
+// cannot affect determinism: the seed depends only on the configuration, and
+// the draw order is unchanged.
+func (k *Kernel) netRand() *rand.Rand {
+	if k.netRNG == nil {
+		k.netRNG = rand.New(rand.NewSource(k.cfg.Seed))
+	}
+	return k.netRNG
 }
 
 // Now returns the current virtual time.
@@ -164,7 +197,10 @@ func (k *Kernel) Crashed(id dsys.ProcessID) bool { return k.procAt(id).crashed }
 
 // Correct returns the processes that have not crashed (so far).
 func (k *Kernel) Correct() []dsys.ProcessID {
-	var out []dsys.ProcessID
+	// Preallocated to n: experiment sampling hooks call this every few
+	// virtual milliseconds, so the append-from-nil growth pattern showed up
+	// in allocs/event profiles.
+	out := make([]dsys.ProcessID, 0, len(k.procs))
 	for _, p := range k.procs {
 		if !p.crashed {
 			out = append(out, p.id)
@@ -182,31 +218,10 @@ func (k *Kernel) Run(until time.Duration) time.Duration {
 		panic("sim: Run called twice")
 	}
 	k.ran = true
+	k.until = until
 	defer func() { totalEvents.Add(k.events) }()
-	for k.fatal == nil {
-		if len(k.runq) > 0 {
-			t := k.runq[0]
-			k.runq = k.runq[1:]
-			if t.state != taskRunnable {
-				continue
-			}
-			k.runTask(t)
-			continue
-		}
-		if k.eq.Len() == 0 {
-			break // quiescent
-		}
-		next := k.eq.peek().at
-		if next > until {
-			k.now = until
-			break
-		}
-		ev := k.eq.pop()
-		if ev.at > k.now {
-			k.now = ev.at
-		}
-		k.events++
-		k.fire(ev)
+	if !k.dispatch(nil) {
+		<-k.main
 	}
 	k.unwindAll()
 	if k.fatal != nil {
@@ -215,19 +230,94 @@ func (k *Kernel) Run(until time.Duration) time.Duration {
 	return k.now
 }
 
-func (k *Kernel) runTask(t *task) {
-	t.state = taskRunning
-	t.resume <- struct{}{}
-	<-k.bell
+// dispatch runs the scheduler loop on the calling goroutine — the baton
+// holder — until control belongs elsewhere. self is the task whose goroutine
+// is calling (nil for the Run goroutine). It returns true when the caller
+// itself should continue running: self was selected to run next, self has a
+// pending unwind to deliver (its park panics), or — for the Run goroutine —
+// the run is over. It returns false when the baton was handed to another
+// goroutine (a selected task, or the Run goroutine at end of run); a parking
+// caller then blocks on its own resume channel.
+//
+// The loop body is identical to the old dedicated-goroutine scheduler: runq
+// in FIFO order first, then the earliest pending event. Only the goroutine
+// executing it changes, so runs stay bit-identical.
+func (k *Kernel) dispatch(self *task) bool {
+	for k.fatal == nil {
+		if self != nil && self.unwind != unwindNone && self.state == taskParked {
+			// An event this loop fired (a crash of self's process) wants to
+			// unwind the calling task; return to its park, which panics.
+			return true
+		}
+		if k.runqHead < len(k.runq) {
+			t := k.runq[k.runqHead]
+			k.runq[k.runqHead] = nil
+			k.runqHead++
+			if k.runqHead == len(k.runq) {
+				k.runq = k.runq[:0]
+				k.runqHead = 0
+			}
+			if t.state != taskRunnable {
+				continue
+			}
+			t.state = taskRunning
+			k.current = t
+			if t == self {
+				return true // zero-switch fast path: the parked caller won
+			}
+			t.resume <- struct{}{}
+			return false
+		}
+		if k.eq.Len() == 0 {
+			break // quiescent
+		}
+		ev, ok := k.eq.popDue(k.until)
+		if !ok {
+			k.now = k.until
+			break
+		}
+		if ev.at > k.now {
+			k.now = ev.at
+		} else if ev.at < k.now {
+			panic(fmt.Sprintf("sim: POP ORDER VIOLATION: event at %v popped at now=%v", ev.at, k.now))
+		}
+		k.events++
+		if t := k.fire(ev); t != nil {
+			// The event woke exactly one task. With an empty runq the next
+			// loop iteration would select it immediately — skip the queue
+			// round-trip and select it here (same order, less bookkeeping).
+			if k.runqHead == len(k.runq) {
+				t.state = taskRunning
+				k.current = t
+				if t == self {
+					return true
+				}
+				t.resume <- struct{}{}
+				return false
+			}
+			k.runq = append(k.runq, t)
+		}
+	}
+	// The run is over (quiescence, deadline, or a fatal task panic): the
+	// baton goes back to the Run goroutine.
+	k.current = nil
+	if self == nil {
+		return true
+	}
+	k.main <- struct{}{}
+	return false
 }
 
-// fire executes one popped event.
-func (k *Kernel) fire(ev event) {
+// fire executes one popped event. It returns the single task the event made
+// runnable, if any, leaving its runq insertion to the caller (evFunc events
+// may wake or spawn any number of tasks; those enqueue internally and fire
+// returns nil).
+func (k *Kernel) fire(ev event) *task {
 	switch ev.kind {
 	case evFunc:
 		ev.fn()
 	case evDeliver:
-		k.deliver(ev.msg)
+		return k.deliver(ev.msg)
 	case evSleep, evTimeout:
 		// A stale timer (the task was woken by a message or re-parked since)
 		// is recognized by its park generation and ignored.
@@ -236,9 +326,13 @@ func (k *Kernel) fire(ev event) {
 			if ev.kind == evTimeout {
 				t.wakeTimeout = true
 			}
-			k.wake(t)
+			t.p.unpark(t)
+			t.state = taskRunnable
+			t.match = nil
+			return t
 		}
 	}
+	return nil
 }
 
 func (k *Kernel) schedule(at time.Duration, e event) {
@@ -263,32 +357,57 @@ func (k *Kernel) scheduleDeliver(at time.Duration, m *dsys.Message) {
 
 // scheduleTimer enqueues a task wake-up (Sleep or RecvTimeout) without
 // allocating a closure — the per-timer fast path.
-func (k *Kernel) scheduleTimer(at time.Duration, kind eventKind, t *task, gen uint64) {
+func (k *Kernel) scheduleTimer(at time.Duration, kind eventKind, t *task, gen uint32) {
 	k.schedule(at, event{kind: kind, t: t, gen: gen})
 }
 
-func (k *Kernel) wake(t *task) {
+// ready makes a parked task runnable without enqueueing it; the dispatch
+// loop decides between the runq and direct selection.
+func ready(t *task) *task {
+	t.p.unpark(t)
 	t.state = taskRunnable
 	t.match = nil
-	k.runq = append(k.runq, t)
+	return t
 }
 
-// deliver hands a message to its destination: directly to the first parked
-// task whose predicate matches, otherwise into the process buffer.
-func (k *Kernel) deliver(m *dsys.Message) {
+// deliver hands a message to its destination: directly to the parked task
+// that would have matched it first in task-creation order, otherwise into
+// the process buffer.
+//
+// Parked tasks are indexed by what they wait for: tasks parked on a
+// dsys.KindMatcher sit in a per-kind lane, everything else in the generic
+// predicate lane (both in creation order). The winner under the old linear
+// scan over p.tasks was the lowest-id parked matching task; that is exactly
+// the lower of the kind lane's head and the first matching generic
+// predicate with a smaller id, so the common case — every waiter is a kind
+// waiter — dispatches in O(1) without calling a single predicate. It
+// returns the task the message woke (nil if the message was buffered or
+// dropped), made runnable but not yet enqueued.
+func (k *Kernel) deliver(m *dsys.Message) *task {
 	p := k.procAt(m.To)
 	if p.crashed {
-		return
+		return nil
 	}
 	k.cfg.Trace.OnDeliver(m)
-	for _, t := range p.tasks {
-		if t.state == taskParked && t.match != nil && t.match(m) {
+	var kt *task
+	if lane := p.kindParked[m.Kind]; lane != nil && len(lane.tasks) > 0 {
+		kt = lane.tasks[0]
+	}
+	for _, t := range p.anyParked {
+		if kt != nil && t.id > kt.id {
+			break
+		}
+		if t.match.Match(m) {
 			t.wakeMsg = m
-			k.wake(t)
-			return
+			return ready(t)
 		}
 	}
-	p.buf = append(p.buf, m)
+	if kt != nil {
+		kt.wakeMsg = m
+		return ready(kt)
+	}
+	p.bufAdd(m)
+	return nil
 }
 
 func (k *Kernel) crash(p *proc) {
@@ -296,11 +415,16 @@ func (k *Kernel) crash(p *proc) {
 		return
 	}
 	p.crashed = true
-	p.buf = nil
 	k.cfg.Trace.OnCrash(p.id, k.now)
 	for _, t := range p.tasks {
 		k.unwindTask(t, unwindCrash)
 	}
+	// The process is permanently dead: nothing will ever read its buffers
+	// or task table again, so release them (long chaos soaks crash many
+	// processes).
+	p.buf, p.byKind, p.kindParked, p.anyParked, p.tasks = nil, nil, nil, nil, nil
+	p.bufDead = 0
+	p.doneTasks = 0
 }
 
 func (k *Kernel) unwindTask(t *task, kind unwindKind) {
@@ -309,8 +433,19 @@ func (k *Kernel) unwindTask(t *task, kind unwindKind) {
 		return
 	case taskRunning:
 		panic("sim: unwinding a running task")
+	case taskParked:
+		t.p.unpark(t)
 	}
 	t.unwind = kind
+	if t == k.current {
+		// t's goroutine holds the baton right now: it parked and is executing
+		// the dispatch loop that fired the crash event unwinding it. It cannot
+		// be handshaken — its resume channel has no receiver. dispatch notices
+		// the pending unwind once the current event finishes and returns
+		// control to t's park, which unwinds it there with the baton kept.
+		return
+	}
+	t.unwindSync = true
 	t.state = taskRunning
 	t.resume <- struct{}{}
 	<-k.bell

@@ -42,34 +42,244 @@ type task struct {
 	resume chan struct{}
 	state  taskState
 	unwind unwindKind
+	// unwindSync is set by Kernel.unwindTask when another goroutine holds the
+	// baton and blocks on the bell until this task's wrapper finishes; the
+	// wrapper then rings the bell instead of continuing the dispatch loop.
+	unwindSync bool
 
 	// Park bookkeeping. parkGen distinguishes park sessions so a stale
-	// timer cannot wake a later park.
-	parkGen     uint64
-	match       dsys.MatchFunc
+	// timer cannot wake a later park. While the task waits in Recv or
+	// RecvTimeout, match holds its matcher and the task sits in one of the
+	// process's two dispatch lanes: parkLane points at its per-kind lane
+	// when the matcher is a dsys.KindMatcher, parkAny marks the generic
+	// lane. Holding the lane pointer lets unpark remove the task without a
+	// single map operation.
+	parkGen     uint32
+	match       dsys.Matcher
+	parkLane    *kindLane
+	parkAny     bool
 	wakeMsg     *dsys.Message
 	wakeTimeout bool
+
+	// cachedMatch/cachedLane memoize the lane of the matcher this task last
+	// parked on: a task looping over Recv(MatchKind(k)) with the interned
+	// matcher then skips the kindParked map lookup entirely.
+	cachedMatch dsys.Matcher
+	cachedLane  *kindLane
 }
+
+// kindLane is the ordered set of tasks of one process parked on one message
+// kind. Lanes are created on first use and kept for the life of the process
+// (message kinds are a small static set), so parking is one map read and
+// unparking touches no map at all.
+type kindLane struct{ tasks []*task }
 
 // proc is the simulator's view of one process.
 type proc struct {
-	k       *Kernel
-	id      dsys.ProcessID
-	rng     *rand.Rand
-	buf     []*dsys.Message // received messages no task has matched yet
-	tasks   []*task         // in creation order
-	crashed bool
+	k   *Kernel
+	id  dsys.ProcessID
+	rng *rand.Rand
+
+	// Receive buffer: messages no task has matched yet, in arrival order.
+	// Taken messages leave a nil hole (so no stale *dsys.Message is
+	// retained) that compactBuf squeezes out once holes dominate. byKind
+	// indexes the live entries by message kind; its index queues may hold
+	// stale (nil-hole) positions, which readers skip lazily.
+	buf     []*dsys.Message
+	bufDead int              // number of nil holes in buf
+	byKind  map[string][]int // kind -> ascending buf indices
+
+	// Parked-task dispatch lanes, both in task-creation (id) order.
+	// kindParked holds tasks waiting on a single message kind; anyParked
+	// holds tasks waiting on an arbitrary predicate. Tasks parked in Sleep
+	// are in neither lane — no message can wake them.
+	kindParked map[string]*kindLane
+	anyParked  []*task
+
+	tasks     []*task // in creation order; compacted as tasks finish
+	doneTasks int     // number of taskDone entries still in tasks
+	crashed   bool
 }
 
-// takeMatch removes and returns the first buffered message satisfying match.
-func (p *proc) takeMatch(match dsys.MatchFunc) *dsys.Message {
+// randSrc returns the process-local random source, seeding it on first use
+// (see Kernel.netRand for why laziness is safe and worthwhile).
+func (p *proc) randSrc() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.k.cfg.Seed ^ int64(0x9e3779b97f4a7c15*uint64(p.id))))
+	}
+	return p.rng
+}
+
+// bufAdd appends a delivered message to the receive buffer and its kind
+// index.
+func (p *proc) bufAdd(m *dsys.Message) {
+	if p.byKind == nil {
+		p.byKind = make(map[string][]int)
+	}
+	p.buf = append(p.buf, m)
+	p.byKind[m.Kind] = append(p.byKind[m.Kind], len(p.buf)-1)
+}
+
+// takeAt removes and returns buf[i], leaving a nil hole. Stale index
+// entries pointing at the hole are skipped lazily; compactBuf reclaims the
+// holes themselves.
+func (p *proc) takeAt(i int) *dsys.Message {
+	m := p.buf[i]
+	p.buf[i] = nil
+	p.bufDead++
+	p.compactBuf()
+	return m
+}
+
+// takeKind removes and returns the oldest buffered message of the given
+// kind — the O(1) fast path of receive dispatch.
+func (p *proc) takeKind(kind string) *dsys.Message {
+	q := p.byKind[kind]
+	for len(q) > 0 {
+		i := q[0]
+		q = q[1:]
+		if p.buf[i] != nil {
+			p.byKind[kind] = q
+			return p.takeAt(i)
+		}
+	}
+	if q != nil {
+		p.byKind[kind] = q
+	}
+	return nil
+}
+
+// takeMatch removes and returns the first buffered message satisfying
+// match: by kind index when the matcher declares its kind, otherwise by
+// scanning arrival order.
+func (p *proc) takeMatch(match dsys.Matcher) *dsys.Message {
+	if km, ok := match.(dsys.KindMatcher); ok {
+		if p.byKind == nil {
+			return nil // nothing was ever buffered
+		}
+		return p.takeKind(km.MatchedKind())
+	}
 	for i, m := range p.buf {
-		if match(m) {
-			p.buf = append(p.buf[:i], p.buf[i+1:]...)
-			return m
+		if m != nil && match.Match(m) {
+			return p.takeAt(i)
 		}
 	}
 	return nil
+}
+
+// compactBuf squeezes the nil holes out of the buffer once they outnumber
+// the live messages, rebuilding the kind index with the shifted positions.
+// Each take creates at most one hole and a compaction touching len(buf)
+// entries removes more than len(buf)/2 of them, so the amortized cost per
+// take is O(1) and buffer memory stays proportional to the live backlog.
+func (p *proc) compactBuf() {
+	if p.bufDead <= 32 || p.bufDead*2 <= len(p.buf) {
+		return
+	}
+	for k, q := range p.byKind {
+		p.byKind[k] = q[:0]
+	}
+	live := p.buf[:0]
+	for _, m := range p.buf {
+		if m != nil {
+			p.byKind[m.Kind] = append(p.byKind[m.Kind], len(live))
+			live = append(live, m)
+		}
+	}
+	// Nil the tail so the dropped slots release their message pointers.
+	for i := len(live); i < len(p.buf); i++ {
+		p.buf[i] = nil
+	}
+	p.buf = live
+	p.bufDead = 0
+}
+
+// parkOn registers t in the dispatch lane its matcher selects. Called on
+// the task's own goroutine just before it parks; the goroutine holds the
+// scheduling baton until the park completes, so lane updates never race.
+func (p *proc) parkOn(t *task, match dsys.Matcher) {
+	t.match = match
+	if km, ok := match.(dsys.KindMatcher); ok {
+		lane := t.cachedLane
+		if lane == nil || t.cachedMatch != match {
+			if p.kindParked == nil {
+				p.kindParked = make(map[string]*kindLane)
+			}
+			kind := km.MatchedKind()
+			lane = p.kindParked[kind]
+			if lane == nil {
+				lane = &kindLane{}
+				p.kindParked[kind] = lane
+			}
+			t.cachedMatch, t.cachedLane = match, lane
+		}
+		lane.tasks = laneInsert(lane.tasks, t)
+		t.parkLane = lane
+		return
+	}
+	t.parkAny = true
+	p.anyParked = laneInsert(p.anyParked, t)
+}
+
+// unpark removes t from its dispatch lane, if it is in one.
+func (p *proc) unpark(t *task) {
+	if lane := t.parkLane; lane != nil {
+		lane.tasks = laneRemove(lane.tasks, t)
+		t.parkLane = nil
+	} else if t.parkAny {
+		p.anyParked = laneRemove(p.anyParked, t)
+		t.parkAny = false
+	}
+}
+
+// laneInsert adds t keeping the lane sorted by task id (creation order) —
+// the order the old p.tasks scan dispatched in, which the lanes must
+// reproduce exactly for runs to stay bit-identical.
+func laneInsert(lane []*task, t *task) []*task {
+	i := len(lane)
+	if i == 0 || lane[i-1].id < t.id {
+		return append(lane, t) // empty lane or append at end: the common case
+	}
+	for i > 0 && lane[i-1].id > t.id {
+		i--
+	}
+	lane = append(lane, nil)
+	copy(lane[i+1:], lane[i:])
+	lane[i] = t
+	return lane
+}
+
+func laneRemove(lane []*task, t *task) []*task {
+	for i, lt := range lane {
+		if lt == t {
+			copy(lane[i:], lane[i+1:])
+			lane[len(lane)-1] = nil
+			return lane[:len(lane)-1]
+		}
+	}
+	return lane
+}
+
+// taskFinished records that one of p's tasks reached taskDone and compacts
+// the task table once done entries dominate, so long soaks spawning a task
+// per consensus slot keep a flat task table (and crash/unwind never walk
+// thousands of dead entries). Creation order of the survivors is preserved.
+func (p *proc) taskFinished(k *Kernel) {
+	p.doneTasks++
+	if k.stopping || p.doneTasks <= 32 || p.doneTasks*2 <= len(p.tasks) {
+		return
+	}
+	live := p.tasks[:0]
+	for _, t := range p.tasks {
+		if t.state != taskDone {
+			live = append(live, t)
+		}
+	}
+	for i := len(live); i < len(p.tasks); i++ {
+		p.tasks[i] = nil
+	}
+	p.tasks = live
+	p.doneTasks = 0
 }
 
 // taskView is the dsys.Proc handle given to a task. Each task gets its own
@@ -84,7 +294,7 @@ func (v taskView) ID() dsys.ProcessID    { return v.t.p.id }
 func (v taskView) N() int                { return len(v.t.p.k.procs) }
 func (v taskView) All() []dsys.ProcessID { return v.t.p.k.pids }
 func (v taskView) Now() time.Duration    { return v.t.p.k.now }
-func (v taskView) Rand() *rand.Rand      { return v.t.p.rng }
+func (v taskView) Rand() *rand.Rand      { return v.t.p.randSrc() }
 
 func (v taskView) Send(to dsys.ProcessID, kind string, payload any) {
 	t := v.t
@@ -104,7 +314,7 @@ func (v taskView) Send(to dsys.ProcessID, kind string, payload any) {
 	}
 	// Networks supporting duplication deliver one copy per planned latency.
 	if mn, ok := k.cfg.Network.(network.MultiNetwork); ok {
-		copies := mn.PlanCopies(p.id, to, kind, k.now, k.netRNG)
+		copies := mn.PlanCopies(p.id, to, kind, k.now, k.netRand())
 		k.cfg.Trace.OnSend(m, len(copies) == 0)
 		for _, delay := range copies {
 			if delay < 0 {
@@ -114,7 +324,7 @@ func (v taskView) Send(to dsys.ProcessID, kind string, payload any) {
 		}
 		return
 	}
-	delay, drop := k.cfg.Network.Plan(p.id, to, kind, k.now, k.netRNG)
+	delay, drop := k.cfg.Network.Plan(p.id, to, kind, k.now, k.netRand())
 	k.cfg.Trace.OnSend(m, drop)
 	if drop {
 		return
@@ -125,21 +335,21 @@ func (v taskView) Send(to dsys.ProcessID, kind string, payload any) {
 	k.scheduleDeliver(k.now+delay, m)
 }
 
-func (v taskView) Recv(match dsys.MatchFunc) (*dsys.Message, bool) {
+func (v taskView) Recv(match dsys.Matcher) (*dsys.Message, bool) {
 	t := v.t
 	t.checkUnwind()
 	if m := t.p.takeMatch(match); m != nil {
 		return m, true
 	}
 	t.parkGen++
-	t.match = match
+	t.p.parkOn(t, match)
 	t.park()
 	m := t.wakeMsg
 	t.wakeMsg = nil
 	return m, m != nil
 }
 
-func (v taskView) RecvTimeout(match dsys.MatchFunc, d time.Duration) (*dsys.Message, bool) {
+func (v taskView) RecvTimeout(match dsys.Matcher, d time.Duration) (*dsys.Message, bool) {
 	t := v.t
 	t.checkUnwind()
 	if m := t.p.takeMatch(match); m != nil {
@@ -150,7 +360,7 @@ func (v taskView) RecvTimeout(match dsys.MatchFunc, d time.Duration) (*dsys.Mess
 	}
 	k := t.p.k
 	t.parkGen++
-	t.match = match
+	t.p.parkOn(t, match)
 	k.scheduleTimer(k.now+d, evTimeout, t, t.parkGen)
 	t.park()
 	m := t.wakeMsg
@@ -194,34 +404,46 @@ func (t *task) checkUnwind() {
 	}
 }
 
-// park hands control back to the kernel until the task is woken. On resume
-// it converts a pending unwind into a panic that the task wrapper recovers.
+// park suspends the task until it is woken. The parking goroutine keeps the
+// baton and runs the dispatch loop inline; it only blocks on its resume
+// channel when the loop hands the baton to another goroutine. On resume it
+// converts a pending unwind into a panic that the task wrapper recovers.
 func (t *task) park() {
 	t.state = taskParked
-	t.p.k.bell <- struct{}{}
-	<-t.resume
+	if !t.p.k.dispatch(t) {
+		<-t.resume
+	}
 	if t.unwind != unwindNone {
 		panic(unwindPanic{t.unwind})
 	}
 }
 
 // start launches the task goroutine. The goroutine waits for its first
-// scheduling before running fn, and always rings the kernel bell exactly once
-// when it finishes (normally, by unwind, or by user panic).
+// scheduling before running fn. When it finishes (normally, by unwind, or by
+// user panic) it either rings the bell — answering a synchronous unwind
+// handshake — or, if it still holds the baton, continues the dispatch loop.
 func (t *task) start(fn dsys.TaskFunc) {
 	go func() {
 		<-t.resume
 		defer func() {
+			k := t.p.k
 			if r := recover(); r != nil {
 				if _, ok := r.(unwindPanic); !ok {
-					// A real bug in algorithm code: surface it on the kernel
+					// A real bug in algorithm code: surface it on the Run
 					// goroutine with the original stack attached.
-					t.p.k.fatal = fmt.Errorf("sim: task %v/%s panicked: %v\n%s", t.p.id, t.name, r, debug.Stack())
+					k.fatal = fmt.Errorf("sim: task %v/%s panicked: %v\n%s", t.p.id, t.name, r, debug.Stack())
 				}
 			}
 			t.state = taskDone
 			t.match = nil
-			t.p.k.bell <- struct{}{}
+			if t.unwindSync {
+				// Kernel.unwindTask holds the baton and waits for us.
+				k.bell <- struct{}{}
+				return
+			}
+			// We hold the baton: account the finished task, keep scheduling.
+			t.p.taskFinished(k)
+			k.dispatch(t)
 		}()
 		if t.unwind != unwindNone {
 			return

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+)
+
+// TestTaskTableStaysBounded spawns 10,000 short-lived tasks on one process
+// and checks the task table is compacted as they finish: without compaction
+// every done task would pin an entry (and its closure and wake message) for
+// the whole run, and crash/unwind would walk thousands of dead slots.
+func TestTaskTableStaysBounded(t *testing.T) {
+	k := New(reliableCfg(1, 1))
+	done := 0
+	k.Spawn(1, "spawner", func(p dsys.Proc) {
+		for i := 0; i < 10000; i++ {
+			p.Spawn("child", func(p dsys.Proc) {
+				p.Sleep(time.Microsecond)
+				done++
+			})
+			p.Sleep(2 * time.Microsecond)
+		}
+	})
+	maxLen := 0
+	k.Every(time.Millisecond, time.Millisecond, func(time.Duration) {
+		if n := len(k.procAt(1).tasks); n > maxLen {
+			maxLen = n
+		}
+	})
+	k.Run(time.Minute)
+	if done != 10000 {
+		t.Fatalf("only %d of 10000 tasks ran", done)
+	}
+	// Compaction triggers once >32 entries are done and dominate the table,
+	// so the steady-state ceiling is roughly twice that threshold.
+	if maxLen > 128 {
+		t.Errorf("task table grew to %d entries mid-run; compaction is not keeping it flat", maxLen)
+	}
+	if n := len(k.procAt(1).tasks); n > 128 {
+		t.Errorf("task table retains %d entries after the run", n)
+	}
+}
+
+// TestDeliveryNeverMatchesDoneTask parks a task on a kind, lets it time out
+// and finish, and only then delivers a message of that kind: the done task —
+// which once sat in that kind's parked lane — must not swallow the message;
+// it stays buffered for the next task that asks.
+func TestDeliveryNeverMatchesDoneTask(t *testing.T) {
+	k := New(reliableCfg(2, 1))
+	k.Spawn(1, "short-lived", func(p dsys.Proc) {
+		if m, ok := p.RecvTimeout(dsys.MatchKind("evt"), time.Millisecond); ok {
+			t.Errorf("short-lived task received %q before its timeout", m.Kind)
+		}
+	})
+	k.Spawn(2, "sender", func(p dsys.Proc) {
+		p.Sleep(5 * time.Millisecond) // well after the first task finished
+		p.Send(1, "evt", nil)
+	})
+	var got string
+	k.Spawn(1, "late", func(p dsys.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		m, _ := p.Recv(dsys.MatchKind("evt"))
+		got = m.Kind
+	})
+	k.Run(time.Second)
+	if got != "evt" {
+		t.Fatalf("late task got %q, want the buffered evt message", got)
+	}
+}
+
+// TestConsumedBufferEntriesReleased checks the satellite memory-retention
+// fix: consuming a buffered message must nil its buffer slot so the message
+// (and its payload) can be collected, instead of being pinned until the
+// buffer slice happens to be reallocated.
+func TestConsumedBufferEntriesReleased(t *testing.T) {
+	k := New(reliableCfg(2, 1))
+	k.Spawn(2, "sender", func(p dsys.Proc) {
+		for i := 0; i < 100; i++ {
+			p.Send(1, "x", i)
+		}
+	})
+	k.Spawn(1, "recv", func(p dsys.Proc) {
+		p.Sleep(10 * time.Millisecond) // let every message buffer first
+		for i := 0; i < 100; i++ {
+			p.Recv(dsys.MatchKind("x"))
+		}
+	})
+	k.Run(time.Second)
+	for i, m := range k.procAt(1).buf {
+		if m != nil {
+			t.Errorf("buf[%d] still pins a %q message after consumption", i, m.Kind)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"math/bits"
+	"time"
+)
+
+// eventQueue is the kernel's pending-event structure: a hierarchical timing
+// wheel (Varghese & Lauck) over virtual time with the exact (at, seq) total
+// order of the old binary heap preserved.
+//
+// Why not just a heap: the simulator's workload is dominated by periodic
+// heartbeat timers and short message latencies, so a binary heap pays
+// O(log N) per push/pop against a mostly-sorted future of N pending events —
+// at n=256 processes the heap holds tens of thousands of timers and the
+// log factor is the kernel's hottest cost. The wheel makes push O(1) and pop
+// O(1) bitmap probes plus O(log s) where s is the population of one level-0
+// slot (almost always a handful of events).
+//
+// Structure: a wide level 0 of 256 one-tick slots (tick = 1<<wheelTickBits ns
+// ≈ 8.2µs, so level 0 spans ≈ 2.1ms — wide enough that the millisecond-scale
+// timers and latencies of the experiments file straight into level 0 and
+// never cascade), topped by wheelLevels levels of 64 slots whose widths grow
+// by 64× per level. An event is filed at the lowest level whose current
+// rotation reaches the event's tick — concretely, the lowest level where the
+// event and the frontier share the enclosing parent slot, so every slot
+// holds exactly one rotation and never mixes epochs. Events beyond the top
+// level's horizon (≈ 26 virtual days) go to an overflow heap. As the
+// frontier advances, higher-level slots cascade: their events are re-filed
+// and strictly descend one or more levels until they reach level 0.
+//
+// Ordering: `cur` is a small binary heap holding exactly the events with
+// at < curEnd (the end of the level-0 slot currently being drained). The
+// global minimum is therefore always cur's minimum: everything outside cur
+// is at or beyond curEnd, and newly pushed events below curEnd (the kernel
+// clamps at >= now) go straight into cur. Within cur the old heap's
+// (at, seq) comparison applies unchanged, so pop order — and with it every
+// experiment table — is bit-identical to the binary heap's
+// (TestWheelMatchesHeapPopOrder proves this on randomized workloads).
+type eventQueue struct {
+	// cur holds the due events: every pending event with at < curEnd.
+	cur    eventHeap
+	curEnd time.Duration
+	// frontier is curEnd in ticks: the first tick not yet drained into cur.
+	frontier int64
+	// Level 0: one-tick slots, indexed by tick & wheelL0Mask, with a
+	// multi-word occupancy bitmap.
+	slots0 [wheelL0Slots][]event
+	occ0   [wheelL0Slots / 64]uint64
+	// levels[li] is level li+1: 64 slots of width 1<<(wheelL0Bits +
+	// li*wheelLevelBits) ticks each.
+	levels [wheelLevels]wheelLevel
+	// overflow holds events beyond the top level's horizon, heap-ordered.
+	overflow eventHeap
+	size     int
+	// arena carves the initial backing arrays of slots in chunks, so a run
+	// touching a few hundred slots pays a handful of allocations instead of
+	// one per slot (slots keep their arrays across rotations afterwards).
+	arena []event
+}
+
+const (
+	// wheelTickBits sets the level-0 tick to 1<<13 ns ≈ 8.2µs. Experiment
+	// time constants are milliseconds, so a tick is fine-grained enough that
+	// same-slot collisions stay rare.
+	wheelTickBits = 13
+	// wheelL0Bits gives level 0 its 256 slots ≈ 2.1ms horizon, sized so that
+	// the common millisecond-scale timer files into level 0 directly instead
+	// of cascading down from level 1 (one placement, one copy per event).
+	wheelL0Bits  = 8
+	wheelL0Slots = 1 << wheelL0Bits
+	wheelL0Mask  = wheelL0Slots - 1
+	// wheelLevelBits gives the upper levels 64 slots, so each level's
+	// occupancy fits one uint64 bitmap and "next occupied slot" is a single
+	// TrailingZeros64.
+	wheelLevelBits = 6
+	wheelSlots     = 1 << wheelLevelBits
+	wheelSlotMask  = wheelSlots - 1
+	// wheelLevels upper levels on top of level 0 cover
+	// 2^(wheelL0Bits + wheelLevels*wheelLevelBits) ticks ≈ 26 virtual days.
+	wheelLevels = 5
+)
+
+// levelShift returns the tick shift of upper level li: a slot of levels[li]
+// spans 1<<levelShift(li) ticks.
+func levelShift(li int) uint { return uint(wheelL0Bits + li*wheelLevelBits) }
+
+type wheelLevel struct {
+	slots [wheelSlots][]event
+	// occupied has bit i set iff slots[i] is non-empty.
+	occupied uint64
+}
+
+func (q *eventQueue) Len() int { return q.size }
+
+// slotCap is the initial capacity carved for a slot's backing array; slots
+// that collect more events in one rotation grow out of the arena normally
+// and keep the grown array.
+const slotCap = 4
+
+func (q *eventQueue) newSlot() []event {
+	if len(q.arena) < slotCap {
+		q.arena = make([]event, 64*slotCap)
+	}
+	s := q.arena[:0:slotCap]
+	q.arena = q.arena[slotCap:]
+	return s
+}
+
+// push files e by (at, seq); O(1) except for amortized slice growth.
+func (q *eventQueue) push(e event) {
+	q.size++
+	if e.at < q.curEnd {
+		q.cur.push(e)
+		return
+	}
+	q.place(e)
+}
+
+// place files an event at or beyond the frontier into the wheel or the
+// overflow heap. The event belongs at the lowest level whose current
+// rotation reaches its tick — determined by the highest bit where tick and
+// frontier differ, so one Len64 replaces a level probe loop.
+func (q *eventQueue) place(e event) {
+	tick := int64(e.at) >> wheelTickBits
+	bl := bits.Len64(uint64(tick ^ q.frontier))
+	if bl <= wheelL0Bits {
+		// Same level-1 parent slot as the frontier: level 0 reaches it.
+		slot := tick & wheelL0Mask
+		s := &q.slots0[slot]
+		if cap(*s) == 0 {
+			*s = q.newSlot()
+		}
+		*s = append(*s, e)
+		q.occ0[slot>>6] |= 1 << uint(slot&63)
+		return
+	}
+	li := (bl - wheelL0Bits - 1) / wheelLevelBits
+	if li >= wheelLevels {
+		q.overflow.push(e)
+		return
+	}
+	slot := (tick >> levelShift(li)) & wheelSlotMask
+	s := &q.levels[li].slots[slot]
+	if cap(*s) == 0 {
+		*s = q.newSlot()
+	}
+	*s = append(*s, e)
+	q.levels[li].occupied |= 1 << uint(slot)
+}
+
+// recycle zeroes a consumed slot slice so no message, task or closure
+// pointer is retained past its firing, and returns the empty slice for the
+// slot's next rotation.
+func recycle(es []event) []event {
+	for j := range es {
+		es[j] = event{}
+	}
+	return es[:0]
+}
+
+// next0 returns the tick of the first occupied level-0 slot at or after the
+// frontier, or -1 if level 0 is empty. Level-0 occupancy bits exist only for
+// ticks in [frontier, end of the frontier's level-1 window), so the scan
+// never has to wrap.
+func (q *eventQueue) next0() int64 {
+	off := q.frontier & wheelL0Mask
+	w := int(off >> 6)
+	if m := q.occ0[w] &^ (1<<uint(off&63) - 1); m != 0 {
+		return q.frontier&^wheelL0Mask + int64(w<<6+bits.TrailingZeros64(m))
+	}
+	for w++; w < len(q.occ0); w++ {
+		if m := q.occ0[w]; m != 0 {
+			return q.frontier&^wheelL0Mask + int64(w<<6+bits.TrailingZeros64(m))
+		}
+	}
+	return -1
+}
+
+// drainSlot0 moves the events of the level-0 slot at tick s into cur and
+// advances the frontier past it.
+func (q *eventQueue) drainSlot0(s int64) {
+	q.frontier = s + 1
+	q.curEnd = time.Duration(q.frontier << wheelTickBits)
+	slot := s & wheelL0Mask
+	es := q.slots0[slot]
+	q.slots0[slot] = nil
+	q.occ0[slot>>6] &^= 1 << uint(slot&63)
+	for _, e := range es {
+		q.cur.push(e)
+	}
+	q.slots0[slot] = recycle(es)
+}
+
+// straddling reports whether any upper level's slot containing the frontier
+// is occupied. Such a slot holds events placed before the frontier entered
+// it, possibly at ticks earlier than every occupied level-0 slot, so it must
+// cascade before level 0 is drained.
+func (q *eventQueue) straddling() bool {
+	for li := 0; li < wheelLevels; li++ {
+		lv := &q.levels[li]
+		if lv.occupied&(1<<uint((q.frontier>>levelShift(li))&wheelSlotMask)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// advance moves the frontier to the next pending event and fills cur with
+// its level-0 slot. It must only be called when cur is empty and size > 0.
+func (q *eventQueue) advance() {
+	// Fast path: with the overflow heap empty and no upper-level slot
+	// straddling the frontier, an occupied level-0 slot is always the
+	// earliest candidate — every occupied slot of an upper level then lies
+	// strictly beyond the frontier's slot of that level and therefore starts
+	// at or after the level-0 window's end. This covers the steady state of
+	// periodic-timer workloads: each advance is a few bitmap probes.
+	if q.overflow.Len() == 0 && !q.straddling() {
+		if s := q.next0(); s >= 0 {
+			q.drainSlot0(s)
+			return
+		}
+	}
+	for {
+		// Find the earliest candidate slot across the levels. Scanning from
+		// the top level down and preferring strictly earlier candidates
+		// makes ties resolve to the highest level, so an overlapping parent
+		// slot always cascades before a child slot at the same start is
+		// drained — a parent may hold events that belong in that child.
+		bestLevel := -1 // upper-level index, or -1 for "level 0 / none"
+		var bestSlot, bestStart int64
+		for li := wheelLevels - 1; li >= 0; li-- {
+			lv := &q.levels[li]
+			if lv.occupied == 0 {
+				continue
+			}
+			shift := levelShift(li)
+			c := q.frontier >> shift
+			// Rotate the bitmap so the current slot is bit 0; the first set
+			// bit is then the next occupied slot in rotation order.
+			rot := bits.RotateLeft64(lv.occupied, -int(c&wheelSlotMask))
+			s := c + int64(bits.TrailingZeros64(rot))
+			start := s << shift
+			if start < q.frontier {
+				// The slot straddles the frontier (s == c): its remaining
+				// events lie at or after the frontier.
+				start = q.frontier
+			}
+			if bestLevel < 0 || start < bestStart {
+				bestLevel, bestSlot, bestStart = li, s, start
+			}
+		}
+		s0 := q.next0()
+		if s0 >= 0 && (bestLevel < 0 || s0 < bestStart) {
+			// A level-0 slot is strictly earliest (ties go to the upper
+			// level: its slot overlaps this window and must cascade first).
+			bestLevel, bestStart = -1, s0
+		}
+		if bestLevel < 0 && s0 < 0 && q.overflow.Len() == 0 {
+			panic("sim: advance on empty event queue")
+		}
+		if q.overflow.Len() > 0 {
+			oTick := int64(q.overflow.peek().at) >> wheelTickBits
+			if (bestLevel < 0 && s0 < 0) || oTick <= bestStart {
+				// The overflow holds the earliest pending event: advance the
+				// frontier to it and pull every overflow event the wheel now
+				// reaches back in (they re-file at proper levels).
+				q.frontier = oTick
+				topShift := levelShift(wheelLevels)
+				for q.overflow.Len() > 0 {
+					t := int64(q.overflow.peek().at) >> wheelTickBits
+					if t>>topShift != q.frontier>>topShift {
+						break
+					}
+					q.place(q.overflow.pop())
+				}
+				continue
+			}
+		}
+		if bestLevel >= 0 {
+			// Cascade: move the frontier to the slot and re-file its events;
+			// each lands at least one level lower because it now shares the
+			// enclosing parent slot with the frontier.
+			q.frontier = bestStart
+			lv := &q.levels[bestLevel]
+			slot := bestSlot & wheelSlotMask
+			es := lv.slots[slot]
+			lv.slots[slot] = nil
+			lv.occupied &^= 1 << uint(slot)
+			for _, e := range es {
+				q.place(e)
+			}
+			lv.slots[slot] = recycle(es)
+			continue
+		}
+		// A level-0 slot: its events become the due set.
+		q.drainSlot0(bestStart)
+		return
+	}
+}
+
+// peek returns the earliest pending event. Only valid when Len() > 0.
+func (q *eventQueue) peek() event {
+	if q.cur.Len() == 0 {
+		q.advance()
+	}
+	return q.cur.peek()
+}
+
+// pop removes and returns the earliest pending event in (at, seq) order.
+// Only valid when Len() > 0.
+func (q *eventQueue) pop() event {
+	if q.cur.Len() == 0 {
+		q.advance()
+	}
+	q.size--
+	return q.cur.pop()
+}
+
+// popDue pops the earliest pending event if it is at or before limit; the
+// scheduler's fused peek-then-pop, saving the second due-set check per
+// event. Only valid when Len() > 0.
+func (q *eventQueue) popDue(limit time.Duration) (event, bool) {
+	if q.cur.Len() == 0 {
+		q.advance()
+	}
+	if q.cur.peek().at > limit {
+		return event{}, false
+	}
+	q.size--
+	return q.cur.pop(), true
+}

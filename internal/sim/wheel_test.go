@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refQueue is the reference implementation the timing wheel must match: the
+// plain binary heap the kernel used before the wheel, popping in (at, seq)
+// order.
+type refQueue struct {
+	h eventHeap
+}
+
+func (q *refQueue) push(e event) { q.h.push(e) }
+func (q *refQueue) pop() event   { return q.h.pop() }
+func (q *refQueue) Len() int     { return q.h.Len() }
+
+// TestWheelMatchesHeapPopOrder is the differential test backing the wheel's
+// determinism claim: on randomized mixed push/pop workloads — same-instant
+// bursts, far-future overflow events, pushes interleaved with pops — the
+// wheel pops the exact (at, seq) sequence the old binary heap pops. The
+// experiment tables are a function of pop order, so this is what keeps them
+// byte-identical across the heap→wheel change.
+func TestWheelMatchesHeapPopOrder(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 42, 1789} {
+		rng := rand.New(rand.NewSource(seed))
+		var wheel eventQueue
+		var ref refQueue
+		var seq uint64
+		now := time.Duration(0) // lower bound of pushes, as in the kernel
+		push := func(at time.Duration) {
+			if at < now {
+				at = now
+			}
+			seq++
+			e := event{at: at, seq: seq}
+			wheel.push(e)
+			ref.push(e)
+		}
+		popBoth := func() {
+			we, re := wheel.pop(), ref.pop()
+			if we.at != re.at || we.seq != re.seq {
+				t.Fatalf("seed %d: pop mismatch: wheel (%v, %d) vs heap (%v, %d)",
+					seed, we.at, we.seq, re.at, re.seq)
+			}
+			if we.at > now {
+				now = we.at
+			}
+		}
+		for step := 0; step < 5000; step++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // short-range future: the level-0 / low-level regime
+				push(now + time.Duration(rng.Int63n(int64(5*time.Millisecond))))
+			case r < 6: // same-instant burst: ties broken by seq alone
+				at := now + time.Duration(rng.Int63n(int64(time.Millisecond)))
+				for i := 0; i < 1+rng.Intn(8); i++ {
+					push(at)
+				}
+			case r < 7: // mid-range: upper wheel levels, cascading
+				push(now + time.Duration(rng.Int63n(int64(10*time.Minute))))
+			case r < 8: // far future: beyond the wheel horizon, overflow heap
+				push(now + time.Duration(rng.Int63n(int64(100*24*time.Hour))))
+			default:
+				if ref.Len() > 0 {
+					popBoth()
+				} else {
+					push(now + time.Duration(rng.Int63n(int64(time.Second))))
+				}
+			}
+			if wheel.Len() != ref.Len() {
+				t.Fatalf("seed %d: size mismatch: wheel %d vs heap %d", seed, wheel.Len(), ref.Len())
+			}
+		}
+		for ref.Len() > 0 {
+			popBoth()
+		}
+		if wheel.Len() != 0 {
+			t.Fatalf("seed %d: wheel retains %d events after drain", seed, wheel.Len())
+		}
+	}
+}
+
+// TestWheelPeriodicTimerOrder replays the kernel's dominant workload shape
+// against the reference heap: self-rescheduling periodic timers (whose spans
+// exceed the level-0 horizon, so they file into upper levels and cascade)
+// interleaved with short-delay message deliveries pushed by the events being
+// popped. This is the regime that exposed the advance() fast-path straddle
+// bug: after the frontier crosses a 256-tick block boundary, the new block's
+// parent slot still holds that block's timers, and deliveries pushed by the
+// just-drained batch occupy level 0 — draining level 0 first fires later
+// events before earlier ones.
+func TestWheelPeriodicTimerOrder(t *testing.T) {
+	for _, seed := range []int64{1, 5, 99, 2024} {
+		rng := rand.New(rand.NewSource(seed))
+		var wheel eventQueue
+		var ref refQueue
+		var seq uint64
+		now := time.Duration(0)
+		push := func(at time.Duration) {
+			if at < now {
+				at = now
+			}
+			seq++
+			e := event{at: at, seq: seq}
+			wheel.push(e)
+			ref.push(e)
+		}
+		// Timers with heartbeat-like periods: all beyond the ~2.1ms level-0
+		// horizon, none aligned with it.
+		periods := []time.Duration{
+			10 * time.Millisecond, 5 * time.Millisecond,
+			13 * time.Millisecond, 60 * time.Millisecond,
+		}
+		for _, d := range periods {
+			for i := 0; i < 4; i++ { // several processes per period
+				push(d)
+			}
+		}
+		for step := 0; step < 30000 && ref.Len() > 0; step++ {
+			we, re := wheel.pop(), ref.pop()
+			if we.at != re.at || we.seq != re.seq {
+				t.Fatalf("seed %d step %d: pop mismatch: wheel (%v, %d) vs heap (%v, %d)",
+					seed, step, we.at, we.seq, re.at, re.seq)
+			}
+			if we.at > now {
+				now = we.at
+			}
+			// The popped event reschedules itself on a period and, like a
+			// heartbeat send burst, emits a few short-delay deliveries.
+			p := periods[rng.Intn(len(periods))]
+			push(now + p)
+			for i := rng.Intn(3); i > 0; i-- {
+				push(now + time.Duration(rng.Int63n(int64(3*time.Millisecond))))
+			}
+			// Keep the population bounded: sometimes pop without replacing.
+			if rng.Intn(4) == 0 && ref.Len() > 1 {
+				we, re = wheel.pop(), ref.pop()
+				if we.at != re.at || we.seq != re.seq {
+					t.Fatalf("seed %d step %d: drain mismatch: wheel (%v, %d) vs heap (%v, %d)",
+						seed, step, we.at, we.seq, re.at, re.seq)
+				}
+				if we.at > now {
+					now = we.at
+				}
+			}
+		}
+	}
+}
+
+// TestWheelPopDue checks the fused peek-then-pop against the plain pop: due
+// events come out in order, and a beyond-limit head is left in place.
+func TestWheelPopDue(t *testing.T) {
+	var q eventQueue
+	var seq uint64
+	push := func(at time.Duration) {
+		seq++
+		q.push(event{at: at, seq: seq})
+	}
+	push(5 * time.Millisecond)
+	push(time.Millisecond)
+	push(time.Hour) // far enough for the overflow/upper levels
+	if _, ok := q.popDue(500 * time.Microsecond); ok {
+		t.Fatal("popDue returned an event past the limit")
+	}
+	e, ok := q.popDue(time.Millisecond)
+	if !ok || e.at != time.Millisecond {
+		t.Fatalf("popDue: got (%v, %v), want the 1ms event", e.at, ok)
+	}
+	e, ok = q.popDue(time.Minute)
+	if !ok || e.at != 5*time.Millisecond {
+		t.Fatalf("popDue: got (%v, %v), want the 5ms event", e.at, ok)
+	}
+	if _, ok := q.popDue(time.Minute); ok {
+		t.Fatal("popDue returned the 1h event before its limit")
+	}
+	e, ok = q.popDue(2 * time.Hour)
+	if !ok || e.at != time.Hour {
+		t.Fatalf("popDue: got (%v, %v), want the 1h event", e.at, ok)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue retains %d events", q.Len())
+	}
+}

@@ -39,6 +39,11 @@ type Collector struct {
 	link      map[string]int
 	linkLog   []LinkEvent
 	timings   []Timing
+	// Windowed counting mode (SetCountWindow): per-kind send counts for one
+	// [from, to) window, so large-n sweeps measure steady-state rates without
+	// retaining a log entry per message.
+	winFrom, winTo time.Duration
+	sentWin        map[string]int
 }
 
 // Timing is one experiment's runtime profile, recorded by the expt runner:
@@ -94,9 +99,43 @@ func (c *Collector) OnSend(m *dsys.Message, dropped bool) {
 	if dropped {
 		c.dropped[m.Kind]++
 	}
+	if c.sentWin != nil && m.SentAt >= c.winFrom && m.SentAt < c.winTo {
+		c.sentWin[m.Kind]++
+	}
 	if c.LogMessages {
 		c.events = append(c.events, MsgEvent{At: m.SentAt, From: m.From, To: m.To, Kind: m.Kind, Payload: m.Payload, Dropped: dropped})
 	}
+}
+
+// SetCountWindow enables windowed counting: sends with SentAt in [from, to)
+// are tallied per kind, readable through SentWithin. Unlike the LogMessages
+// log — which retains an entry per message and makes an n² detector sweep at
+// n=256 pay hundreds of MB for a 25-period measurement — the window costs
+// O(kinds) memory regardless of traffic. Call before the run starts.
+func (c *Collector) SetCountWindow(from, to time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.winFrom, c.winTo = from, to
+	c.sentWin = make(map[string]int)
+}
+
+// SentWithin returns the number of messages of the given kinds (all kinds
+// when empty) sent inside the SetCountWindow window.
+func (c *Collector) SentWithin(kinds ...string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(kinds) == 0 {
+		n := 0
+		for _, v := range c.sentWin {
+			n += v
+		}
+		return n
+	}
+	n := 0
+	for _, k := range kinds {
+		n += c.sentWin[k]
+	}
+	return n
 }
 
 // OnDeliver records a message delivery to a live process.
