@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"runtime"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/rbcast"
 	"repro/internal/sim"
+	"repro/internal/tcpnet"
 	"repro/internal/trace"
 )
 
@@ -329,6 +331,103 @@ func BenchmarkKernelTimerThroughput(b *testing.B) {
 		}
 		return k
 	}, 500*time.Millisecond)
+}
+
+// --- Live transport fast-path benchmarks ---
+
+// benchMesh floods a live loopback mesh with an all-pairs burst per iteration
+// and reports sustained delivery throughput, heap allocations per message and
+// wire bytes per frame — the three numbers the PR-5 fast path (binary codec,
+// batched writes, lock-free send path) optimizes. The frames are
+// heartbeat-shaped (nil payload), matching the n² detector traffic that
+// dominates every live run; the receive matcher is hoisted so the harness
+// itself adds no per-message allocations, leaving only the transport +
+// delivery path in allocs/msg.
+func benchMesh(b *testing.B, codec tcpnet.Codec) {
+	b.Helper()
+	const n, perPair = 4, 2000
+	col := &trace.Collector{}
+	m, err := tcpnet.New(tcpnet.Config{N: n, Trace: col, Codec: codec, QueueLen: 4 * perPair})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Stop()
+	pids := dsys.Pids(n)
+	match := dsys.MatchKind("flood")
+	var payload any
+	for _, id := range pids {
+		m.Spawn(id, "drain", func(p dsys.Proc) {
+			for {
+				p.Recv(match)
+			}
+		})
+	}
+	burst := func(task string, count int) {
+		var wg sync.WaitGroup
+		for _, id := range pids {
+			wg.Add(1)
+			m.Spawn(id, task, func(p dsys.Proc) {
+				defer wg.Done()
+				for i := 0; i < count; i++ {
+					for _, to := range pids {
+						if to != p.ID() {
+							p.Send(to, "flood", payload)
+						}
+					}
+				}
+			})
+		}
+		wg.Wait()
+	}
+	waitDelivered := func(target int) {
+		deadline := time.Now().Add(time.Minute)
+		for col.Delivered("flood") < target && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if col.Delivered("flood") < target {
+			b.Fatalf("flood stalled at %d of %d deliveries", col.Delivered("flood"), target)
+		}
+	}
+	// Warm-up establishes every connection outside the measured window.
+	burst("warm", 1)
+	waitDelivered(n * (n - 1))
+
+	perIter := n * (n - 1) * perPair
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	f0, b0bytes := m.WireStats()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		burst("flood"+strconv.Itoa(i), perPair)
+		waitDelivered(n*(n-1) + (i+1)*perIter)
+	}
+	wall := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	f1, b1bytes := m.WireStats()
+	total := b.N * perIter
+	b.ReportMetric(float64(total)/wall.Seconds(), "msgs/s")
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(total), "allocs/msg")
+	if f1 > f0 {
+		b.ReportMetric(float64(b1bytes-b0bytes)/float64(f1-f0), "B/frame")
+	}
+}
+
+// BenchmarkMeshThroughput compares the binary wire codec + batched writer
+// against the legacy per-frame gob lane on the same mesh workload. The wire
+// variant must sustain at least 2x the gob msgs/s with at least 4x fewer
+// allocations per message (pinned in BENCH_PR5.json).
+func BenchmarkMeshThroughput(b *testing.B) {
+	b.Run("wire", func(b *testing.B) { benchMesh(b, tcpnet.CodecWire) })
+	b.Run("gob", func(b *testing.B) { benchMesh(b, tcpnet.CodecGob) })
+}
+
+// BenchmarkE15LiveThroughput regenerates the E15 table (quick mode) like the
+// other experiment benchmarks.
+func BenchmarkE15LiveThroughput(b *testing.B) {
+	runExperiment(b, expt.E15LiveThroughput)
 }
 
 // BenchmarkRingDetectorSteadyState measures simulator throughput on the ring

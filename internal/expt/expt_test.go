@@ -48,7 +48,7 @@ func TestTableNonASCIIAlignment(t *testing.T) {
 	tb := &Table{
 		ID: "EX", Title: "align", Columns: []string{"detector", "msgs"},
 	}
-	tb.AddRow("◇P", 1)       // 2 runes, 7 bytes
+	tb.AddRow("◇P", 1)        // 2 runes, 7 bytes
 	tb.AddRow("ascii-one", 2) // widest cell: 9 runes
 	tb.AddRow("Ω", 3)
 	var sb strings.Builder

@@ -94,7 +94,7 @@ func runTrials[R any](n int, trial func(i int) R) []R {
 
 // Experiment is one entry of the suite registry.
 type Experiment struct {
-	// ID is the experiment identifier ("E1".."E14").
+	// ID is the experiment identifier ("E1".."E15").
 	ID string
 	// Fn runs the experiment (quick mode reduces sweeps).
 	Fn func(quick bool) (*Table, error)
@@ -121,6 +121,7 @@ func Experiments() []Experiment {
 		{ID: "E12", Fn: E12DetectorQoS},
 		{ID: "E13", Fn: E13MeshChaos, WallClock: true},
 		{ID: "E14", Fn: E14ScalingSweep, WallClock: true},
+		{ID: "E15", Fn: E15LiveThroughput, WallClock: true},
 	}
 }
 

@@ -1,0 +1,289 @@
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/consensus"
+	"repro/internal/dsys"
+	"repro/internal/fd/heartbeat"
+	"repro/internal/tcpnet"
+	"repro/internal/trace"
+)
+
+func codecName(c tcpnet.Codec) string {
+	if c == tcpnet.CodecGob {
+		return "gob"
+	}
+	return "wire"
+}
+
+// E15LiveThroughput is a supplementary engineering experiment on the real TCP
+// transport: an all-pairs message flood over a localhost mesh at n up to 32,
+// run once with the legacy gob codec and once with the binary wire codec +
+// batched writer, measuring sustained delivery throughput, bytes per frame on
+// the wire, and heap allocations per message. At the largest n it also reruns
+// the E13-style heartbeat-detector scenario under both codecs: the fast path
+// must leave strong completeness and crash-detection latency intact —
+// performance is allowed to change, correctness columns are not.
+//
+// Cells run sequentially, not through the trial pool: allocs/msg comes from
+// runtime.ReadMemStats deltas, which are process-global and would be polluted
+// by a concurrent cell. Like E13/E14-live, the numbers are wall-clock and
+// machine-dependent; the in-experiment assertions are therefore shape checks
+// (frames drain, wire frames are smaller than gob frames, completeness holds),
+// while the strict speedup ratios are pinned by BenchmarkMeshThroughput in
+// BENCH_PR5.json.
+func E15LiveThroughput(quick bool) (*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "Live TCP mesh throughput: binary wire codec + batched writes vs legacy gob (supplementary; wall-clock)",
+		Claim:   "engineering supplement to Section 4 live runs: the compact wire codec and batched writer raise sustained mesh throughput and shrink frames without changing detector correctness",
+		Columns: []string{"n", "codec", "msgs/s", "B/frame", "allocs/msg", "delivered", "completeness", "det p50", "det max"},
+	}
+	ns := []int{8, 16, 32}
+	totalMsgs := 48000
+	if quick {
+		ns = []int{8, 16}
+		totalMsgs = 12000
+	}
+	codecs := []tcpnet.Codec{tcpnet.CodecGob, tcpnet.CodecWire}
+	detN := ns[len(ns)-1] // detection scenario only at the largest n
+
+	var err error
+	for _, n := range ns {
+		perPair := totalMsgs / (n * (n - 1))
+		if perPair < 16 {
+			perPair = 16
+		}
+		bpf := make(map[tcpnet.Codec]float64, len(codecs))
+		for _, c := range codecs {
+			thr, terr := runThroughputCell(n, c, perPair)
+			if terr != nil {
+				return t, terr
+			}
+			bpf[c] = thr.bytesPerFrame
+			comp, p50, max := "-", "-", "-"
+			if n == detN {
+				det, derr := runDetectionCell(n, c)
+				if derr != nil {
+					return t, derr
+				}
+				comp = mark(det.completeness.Holds)
+				if det.detected > 0 {
+					p50, max = msd(det.detP50), msd(det.detMax)
+				}
+				if err == nil {
+					err = checkf(det.completeness.Holds, "E15",
+						"n=%d %s: strong completeness violated on the fast path", n, codecName(c))
+				}
+				if err == nil {
+					err = checkf(det.detected > 0, "E15",
+						"n=%d %s: no survivor ever detected the crash", n, codecName(c))
+				}
+			}
+			t.AddRow(n, codecName(c),
+				fmt.Sprintf("%.0f", thr.msgsPerSec),
+				fmt.Sprintf("%.1f", thr.bytesPerFrame),
+				fmt.Sprintf("%.1f", thr.allocsPerMsg),
+				fmt.Sprintf("%d/%d", thr.delivered, thr.total),
+				comp, p50, max)
+			if err == nil {
+				err = checkf(thr.delivered == thr.total, "E15",
+					"n=%d %s: flood did not fully drain (%d of %d delivered)",
+					n, codecName(c), thr.delivered, thr.total)
+			}
+		}
+		if err == nil {
+			err = checkf(bpf[tcpnet.CodecWire] < bpf[tcpnet.CodecGob], "E15",
+				"n=%d: wire frames (%.1f B) not smaller than gob frames (%.1f B)",
+				n, bpf[tcpnet.CodecWire], bpf[tcpnet.CodecGob])
+		}
+	}
+	t.Notes = append(t.Notes,
+		"wall-clock run over real loopback sockets; throughput and allocation numbers are machine-dependent",
+		"cells run sequentially because allocs/msg is a process-global ReadMemStats delta",
+		fmt.Sprintf("detection columns come from the E13-style heartbeat scenario, rerun per codec at n=%d; '-' rows ran throughput only", detN),
+		"the strict >=2x msgs/s and >=4x fewer allocs/msg acceptance ratios are pinned by BenchmarkMeshThroughput (BENCH_PR5.json); here only the shape is asserted to keep shared CI runners from flaking")
+	return t, err
+}
+
+type throughputResult struct {
+	msgsPerSec    float64
+	bytesPerFrame float64
+	allocsPerMsg  float64
+	delivered     int
+	total         int
+}
+
+// runThroughputCell floods a fresh n-process mesh with perPair messages on
+// every ordered pair and measures sustained delivery rate, wire bytes per
+// frame, and heap allocations per message. A one-frame-per-pair warm-up
+// establishes every connection (and, for gob, its stream state) before the
+// measured window so dial latency is excluded.
+func runThroughputCell(n int, codec tcpnet.Codec, perPair int) (throughputResult, error) {
+	col := &trace.Collector{}
+	// QueueLen must hold a destination's worst-case backlog — (n-1)*perPair
+	// frames funnel through each peer queue — so the clean-mesh flood cannot
+	// shed frames through overflow and delivered==total stays checkable.
+	m, err := tcpnet.New(tcpnet.Config{N: n, Trace: col, Codec: codec, QueueLen: 16384})
+	if err != nil {
+		return throughputResult{}, fmt.Errorf("E15: %w", err)
+	}
+	defer m.Stop()
+	pids := dsys.Pids(n)
+
+	// Drain every delivery so receive buffers stay flat; otherwise the
+	// unread backlog's growth would be billed to allocs/msg.
+	for _, id := range pids {
+		m.Spawn(id, "drain", func(p dsys.Proc) {
+			for {
+				p.Recv(dsys.MatchKind("flood"))
+			}
+		})
+	}
+	flood := func(task string, count int) *sync.WaitGroup {
+		var wg sync.WaitGroup
+		for _, id := range pids {
+			wg.Add(1)
+			m.Spawn(id, task, func(p dsys.Proc) {
+				defer wg.Done()
+				for i := 0; i < count; i++ {
+					for _, to := range pids {
+						if to != p.ID() {
+							p.Send(to, "flood", consensus.Msg{Inst: "E15", Round: i})
+						}
+					}
+				}
+			})
+		}
+		return &wg
+	}
+	waitDelivered := func(target int, timeout time.Duration) {
+		deadline := time.Now().Add(timeout)
+		for col.Delivered("flood") < target && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	warm := n * (n - 1)
+	flood("warm", 1).Wait()
+	waitDelivered(warm, 10*time.Second)
+	if col.Delivered("flood") < warm {
+		return throughputResult{}, fmt.Errorf("E15: n=%d %s: warm-up frames never drained", n, codecName(codec))
+	}
+
+	total := n * (n - 1) * perPair
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	f0, b0 := m.WireStats()
+	start := time.Now()
+	wg := flood("flood", perPair)
+	waitDelivered(warm+total, 60*time.Second)
+	wall := time.Since(start)
+	wg.Wait()
+	runtime.ReadMemStats(&ms1)
+	f1, b1 := m.WireStats()
+
+	res := throughputResult{delivered: col.Delivered("flood") - warm, total: total}
+	if wall > 0 {
+		res.msgsPerSec = float64(res.delivered) / wall.Seconds()
+	}
+	if f1 > f0 {
+		res.bytesPerFrame = float64(b1-b0) / float64(f1-f0)
+	}
+	if total > 0 {
+		res.allocsPerMsg = float64(ms1.Mallocs-ms0.Mallocs) / float64(total)
+	}
+	return res, nil
+}
+
+type detectionResult struct {
+	completeness check.Verdict
+	detP50       time.Duration
+	detMax       time.Duration
+	detected     int // survivors that ever suspected the victim
+}
+
+// runDetectionCell reruns the E13 heartbeat scenario — n processes, victim
+// crashed at 400ms, sampled every period for 1.5s — on a mesh with the given
+// codec, recording per-survivor crash-detection latency alongside the
+// completeness verdict.
+func runDetectionCell(n int, codec tcpnet.Codec) (detectionResult, error) {
+	const (
+		period  = 10 * time.Millisecond
+		crashAt = 400 * time.Millisecond
+		runFor  = 1500 * time.Millisecond
+		victim  = dsys.ProcessID(2)
+	)
+	col := &trace.Collector{}
+	m, err := tcpnet.New(tcpnet.Config{N: n, Trace: col, Codec: codec})
+	if err != nil {
+		return detectionResult{}, fmt.Errorf("E15: %w", err)
+	}
+	defer m.Stop()
+
+	var mu sync.Mutex
+	dets := make(map[dsys.ProcessID]*heartbeat.Detector)
+	for _, id := range dsys.Pids(n) {
+		m.Spawn(id, "fd", func(p dsys.Proc) {
+			d := heartbeat.Start(p, heartbeat.Options{Period: period})
+			mu.Lock()
+			dets[id] = d
+			mu.Unlock()
+			p.Sleep(time.Hour)
+		})
+	}
+
+	rec := check.NewFDRecorder(n)
+	first := make(map[dsys.ProcessID]time.Duration) // survivor -> detection latency
+	start := time.Now()
+	var crashWall time.Duration
+	didCrash := false
+	for time.Since(start) < runFor {
+		now := time.Since(start)
+		if !didCrash && now >= crashAt {
+			m.Crash(victim)
+			crashWall = now
+			didCrash = true
+		}
+		sampleAt := m.Cluster().Now()
+		mu.Lock()
+		for _, id := range dsys.Pids(n) {
+			if m.Cluster().Crashed(id) {
+				continue
+			}
+			d, ok := dets[id]
+			if !ok {
+				continue
+			}
+			sus := d.Suspected()
+			rec.AddSample(id, check.FDSample{At: sampleAt, Suspected: sus, Trusted: dsys.None})
+			if didCrash && sus.Has(victim) {
+				if _, seen := first[id]; !seen {
+					first[id] = now - crashWall
+				}
+			}
+		}
+		mu.Unlock()
+		time.Sleep(period)
+	}
+
+	tr := check.FDTrace{N: n, Rec: rec, Crashed: col.Crashed()}
+	res := detectionResult{completeness: tr.StrongCompleteness(), detected: len(first)}
+	if len(first) > 0 {
+		lats := make([]time.Duration, 0, len(first))
+		for _, l := range first {
+			lats = append(lats, l)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res.detP50 = lats[len(lats)/2]
+		res.detMax = lats[len(lats)-1]
+	}
+	return res, nil
+}

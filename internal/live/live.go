@@ -16,6 +16,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dsys"
@@ -39,8 +40,10 @@ type Config struct {
 	// Transport, if set, replaces the in-memory delivery path: every
 	// non-self Send is handed to it, and the transport is responsible for
 	// eventually calling Cluster.Inject on the destination's side. Used by
-	// package tcpnet to run the cluster over real sockets.
-	Transport func(m *dsys.Message)
+	// package tcpnet to run the cluster over real sockets. The message is
+	// passed by value so the sender-side hot path stays allocation-free —
+	// transports queue the fields they need, not the Message itself.
+	Transport func(m dsys.Message)
 }
 
 // Cluster is a set of live processes in one OS process.
@@ -74,9 +77,14 @@ type lproc struct {
 	id      dsys.ProcessID
 	mu      sync.Mutex
 	cond    *sync.Cond
-	buf     []*dsys.Message
+	buf     []*dsys.Message // pending messages; buf[head:] is live
+	head    int
 	crashed bool
 	stopped bool
+	// dead mirrors crashed||stopped for the Send fast path, which would
+	// otherwise serialize every concurrent sender of a process on mu just to
+	// read two booleans. Set under mu, read lock-free.
+	dead atomic.Bool
 	// doneClosed records, under mu, that done has been closed; Crash and
 	// Stop race to kill a process, and whichever consults the flag first
 	// (while holding mu) is the one that closes the channel.
@@ -149,7 +157,8 @@ func (c *Cluster) Crash(id dsys.ProcessID) {
 	p.mu.Lock()
 	already := p.crashed
 	p.crashed = true
-	p.buf = nil
+	p.dead.Store(true)
+	p.buf, p.head = nil, 0
 	shouldClose := p.killLocked()
 	p.mu.Unlock()
 	if shouldClose {
@@ -201,6 +210,7 @@ func (c *Cluster) Stop() {
 		for _, p := range c.procs {
 			p.mu.Lock()
 			p.stopped = true
+			p.dead.Store(true)
 			shouldClose := p.killLocked()
 			p.mu.Unlock()
 			if shouldClose {
@@ -276,19 +286,23 @@ func (s *lockedSource) Seed(seed int64) {
 func (v taskView) Send(to dsys.ProcessID, kind string, payload any) {
 	p := v.p
 	c := p.c
-	p.mu.Lock()
-	dead := p.crashed || p.stopped
-	p.mu.Unlock()
-	if dead {
+	// Lock-free liveness check: a Send racing a concurrent Crash could
+	// already slip past the old mutexed check before the crash landed, so the
+	// relaxed read changes nothing observable — crashed destinations drop the
+	// message at Inject regardless.
+	if p.dead.Load() {
 		return
 	}
 	now := time.Since(c.start)
-	m := &dsys.Message{From: p.id, To: to, Kind: kind, Payload: payload, SentAt: now}
 	if c.cfg.Transport != nil && to != p.id {
-		c.cfg.Trace.OnSend(m, false)
+		// Stack-built message, handed over by value: the transport copies the
+		// fields into its queue slot, so this path allocates nothing.
+		m := dsys.Message{From: p.id, To: to, Kind: kind, Payload: payload, SentAt: now}
+		c.cfg.Trace.OnSend(&m, false)
 		c.cfg.Transport(m)
 		return
 	}
+	m := &dsys.Message{From: p.id, To: to, Kind: kind, Payload: payload, SentAt: now}
 	var delay time.Duration
 	var drop bool
 	if to == p.id {
@@ -393,16 +407,38 @@ func (v taskView) RecvTimeout(match dsys.Matcher, d time.Duration) (*dsys.Messag
 
 // takeLocked removes and returns the first buffered message matching match.
 func (p *lproc) takeLocked(match dsys.Matcher) *dsys.Message {
-	for i, m := range p.buf {
-		if match.Match(m) {
+	for i := p.head; i < len(p.buf); i++ {
+		m := p.buf[i]
+		if !match.Match(m) {
+			continue
+		}
+		if i == p.head {
+			// Head take — the overwhelmingly common case for a receiver
+			// draining in arrival order. Advancing the head instead of
+			// shifting keeps Recv O(1); the old per-take memmove of the
+			// whole backlog was the live mesh's throughput ceiling.
+			p.buf[i] = nil
+			p.head++
+		} else {
 			copy(p.buf[i:], p.buf[i+1:])
 			// Nil the vacated tail slot: the shift leaves a stale duplicate
 			// of the last pointer there, which would keep the message alive
 			// past its consumption.
 			p.buf[len(p.buf)-1] = nil
 			p.buf = p.buf[:len(p.buf)-1]
-			return m
 		}
+		if p.head == len(p.buf) {
+			p.buf, p.head = p.buf[:0], 0 // drained: reuse the array from the start
+		} else if p.head >= 1024 && p.head*2 >= len(p.buf) {
+			// Compact occasionally so a never-empty mailbox cannot grow its
+			// dead prefix without bound. Amortized O(1) per take.
+			n := copy(p.buf, p.buf[p.head:])
+			for j := n; j < len(p.buf); j++ {
+				p.buf[j] = nil
+			}
+			p.buf, p.head = p.buf[:n], 0
+		}
+		return m
 	}
 	return nil
 }

@@ -70,11 +70,11 @@ func TestTransportHookReceivesNonSelfSends(t *testing.T) {
 	var c *live.Cluster
 	c = live.NewCluster(live.Config{
 		N: 2,
-		Transport: func(m *dsys.Message) {
+		Transport: func(m dsys.Message) {
 			mu.Lock()
 			seen = append(seen, m.Kind)
 			mu.Unlock()
-			c.Inject(m) // loop straight back
+			c.Inject(&m) // loop straight back
 		},
 	})
 	defer c.Stop()

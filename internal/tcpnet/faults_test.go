@@ -1,7 +1,6 @@
 package tcpnet_test
 
 import (
-	"encoding/gob"
 	"net"
 	"testing"
 	"time"
@@ -9,14 +8,21 @@ import (
 	"repro/internal/dsys"
 	"repro/internal/tcpnet"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
-// rawFrame mirrors the unexported wire frame so tests can speak the
+// rawFrames encodes frames with the wire codec so tests can speak the
 // protocol directly at a listener.
-type rawFrame struct {
-	From, To dsys.ProcessID
-	Kind     string
-	Payload  any
+func rawFrames(t *testing.T, frames ...wire.Frame) []byte {
+	t.Helper()
+	var buf []byte
+	var err error
+	for i := range frames {
+		if buf, err = wire.AppendFrame(buf, &frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
 }
 
 // TestMalformedFramesDroppedNotPanic sends garbage bytes and out-of-range
@@ -38,24 +44,26 @@ func TestMalformedFramesDroppedNotPanic(t *testing.T) {
 		}
 	})
 
-	// 1: raw garbage bytes.
+	// 1: raw garbage bytes — the leading bytes parse as a length prefix far
+	// beyond MaxFrameLen, so the whole stream is rejected as malformed.
 	c1, err := net.Dial("tcp", m.Addr(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	c1.Write([]byte("\x01\x02definitely not gob\xff\xfe"))
+	c1.Write([]byte("\xff\xfedefinitely not a frame\x01\x02"))
 	c1.Close()
 
-	// 2: well-formed gob, out-of-range From and To addressed elsewhere.
+	// 2: well-formed frames, out-of-range From and To addressed elsewhere.
 	c2, err := net.Dial("tcp", m.Addr(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	enc := gob.NewEncoder(c2)
-	enc.Encode(&rawFrame{From: 99, To: 2, Kind: "evil", Payload: "x"})  // From out of range
-	enc.Encode(&rawFrame{From: -3, To: 2, Kind: "evil", Payload: "x"})  // negative From
-	enc.Encode(&rawFrame{From: 1, To: 7, Kind: "evil", Payload: "x"})   // To not this listener
-	enc.Encode(&rawFrame{From: 1, To: 2, Kind: "ok", Payload: "sane"})  // valid, must deliver
+	c2.Write(rawFrames(t,
+		wire.Frame{From: 99, To: 2, Kind: "evil", Payload: "x"}, // From out of range
+		wire.Frame{From: -3, To: 2, Kind: "evil", Payload: "x"}, // negative From
+		wire.Frame{From: 1, To: 7, Kind: "evil", Payload: "x"},  // To not this listener
+		wire.Frame{From: 1, To: 2, Kind: "ok", Payload: "sane"}, // valid, must deliver
+	))
 	defer c2.Close()
 
 	select {

@@ -1,40 +1,53 @@
 // Package tcpnet runs a live cluster over real TCP connections: every
 // process gets a loopback listener, peers dial a full mesh lazily, and
-// messages travel gob-encoded through the operating system's network stack.
-// It is the most "production-shaped" substrate in the repository — the
-// detectors and consensus algorithms run on it unchanged, with real sockets
-// providing the asynchrony.
+// messages travel length-prefixed binary frames (package wire) through the
+// operating system's network stack. It is the most "production-shaped"
+// substrate in the repository — the detectors and consensus algorithms run on
+// it unchanged, with real sockets providing the asynchrony.
 //
 // # Delivery semantics
 //
 // Sends are asynchronous: each destination has a bounded outbound queue
 // drained by a dedicated writer goroutine, so a protocol task is never
-// blocked by TCP backpressure or a slow dial. When the queue overflows the
-// OLDEST frame is dropped (periodic protocol traffic makes the newest frame
-// the valuable one). When a connection breaks the writer reconnects with
-// exponential backoff and keeps draining; a frame in flight during the break
-// may be lost. The transport therefore guarantees fair-lossy links — of
-// infinitely many sends, infinitely many arrive — which is exactly the
-// assumption the paper's detectors and consensus need (Section 4), and it
-// never silently goes permanently dark after a transient fault.
+// blocked by TCP backpressure or a slow dial. The writer drains up to
+// Config.Batch queued frames per wakeup and writes them through a pooled
+// bufio.Writer with a single flush — one syscall carries a burst instead of
+// one per frame. When the queue overflows the OLDEST frame is dropped
+// (periodic protocol traffic makes the newest frame the valuable one). When a
+// connection breaks the writer reconnects with exponential backoff and keeps
+// draining; every frame of the broken batch is retried exactly once on the
+// fresh connection (in order), after which it is dropped. Frames already
+// flushed into the kernel when the break hit may additionally be delivered —
+// so a break can duplicate at most one batch, never reorder a sender's frames
+// and never lose a frame silently more than once. The transport therefore
+// guarantees fair-lossy links — of infinitely many sends, infinitely many
+// arrive — which is exactly the assumption the paper's detectors and
+// consensus need (Section 4), and it never silently goes permanently dark
+// after a transient fault.
 //
 // Faults (drops, duplication, partitions, forced resets) can be injected
 // deliberately via Config.Faults; see the Faults type.
 //
-// Payloads are encoded with encoding/gob. The concrete payload types of
-// every protocol in this repository are pre-registered; applications sending
-// their own payload types must call Register first. A malformed or
-// out-of-range frame arriving at a listener is dropped and traced
-// ("tcp.badframe"), never panics the process.
+// # Encoding
+//
+// Frames are encoded by package wire: hot protocol payloads take hand-rolled
+// binary codecs, anything else rides wire's gob fallback lane. Applications
+// sending their own payload types must call Register first (idempotent).
+// Config.Codec can select the legacy per-frame encoding/gob streams instead —
+// kept as the measurable baseline the E15 experiment and the mesh benchmarks
+// compare against. A malformed or out-of-range frame arriving at a listener
+// is dropped and traced ("tcp.badframe"), never panics the process.
 package tcpnet
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/consensus"
@@ -45,32 +58,52 @@ import (
 	"repro/internal/live"
 	"repro/internal/rbcast"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 func init() {
-	// Wire payloads of every protocol package.
-	gob.Register(consensus.Msg{})
-	gob.Register(consensus.Decide{})
-	gob.Register(rbcast.Wire{})
-	gob.Register(&omega.BeatPayload{})
-	gob.Register(mrc.LdrInfo{})
-	gob.Register(core.Kick{})
-	gob.Register(core.Command{})
-	gob.Register([]dsys.ProcessID(nil))
-	gob.Register([]uint32(nil))
-	gob.Register([]uint64(nil))
+	// Gob-lane registrations for every protocol payload: the legacy codec
+	// and wire's fallback lane need them. (The hot types also have fast-lane
+	// codecs, registered by package wire itself.) wire.RegisterGob is
+	// idempotent, so re-running this — or an application registering one of
+	// these types again — can never panic.
+	wire.RegisterGob(consensus.Msg{})
+	wire.RegisterGob(consensus.Decide{})
+	wire.RegisterGob(rbcast.Wire{})
+	wire.RegisterGob(&omega.BeatPayload{})
+	wire.RegisterGob(mrc.LdrInfo{})
+	wire.RegisterGob(core.Kick{})
+	wire.RegisterGob(core.Command{})
+	wire.RegisterGob([]dsys.ProcessID(nil))
+	wire.RegisterGob([]uint32(nil))
+	wire.RegisterGob([]uint64(nil))
 }
 
 // Register makes a payload type known to the transport's encoder, like
-// gob.Register. Call it for application payload types before Spawn.
-func Register(v any) { gob.Register(v) }
+// gob.Register — but idempotent: registering the same type twice is a no-op.
+// Call it for application payload types before Spawn.
+func Register(v any) { wire.RegisterGob(v) }
 
-// frame is the on-wire representation of one message.
+// frame is the on-wire representation of one message under the legacy gob
+// codec (field-compatible with the pre-wire transport's streams).
 type frame struct {
 	From, To dsys.ProcessID
 	Kind     string
 	Payload  any
 }
+
+// Codec selects the frame encoding of a mesh.
+type Codec int
+
+const (
+	// CodecWire is the default: length-prefixed binary frames (package wire)
+	// written in batches through buffered connections.
+	CodecWire Codec = iota
+	// CodecGob is the legacy encoding: one gob stream per connection, one
+	// unbuffered Encode per frame. Kept as the measurable baseline for
+	// BenchmarkMeshThroughput and experiment E15.
+	CodecGob
+)
 
 // Config parameterizes a TCP mesh.
 type Config struct {
@@ -85,6 +118,16 @@ type Config struct {
 	// QueueLen bounds each per-destination outbound queue (default 1024).
 	// On overflow the oldest queued frame is dropped ("tcp.overflow").
 	QueueLen int
+	// Batch bounds how many queued frames one writer wakeup drains and
+	// flushes as a single buffered write (default 64).
+	Batch int
+	// Codec selects the frame encoding (default CodecWire).
+	Codec Codec
+	// Nagle re-enables Nagle's algorithm (TCP_NODELAY off) on outbound
+	// connections. The default keeps TCP_NODELAY on, matching Go's default:
+	// with batched writes every flush is already a coalesced segment, so
+	// delaying it buys nothing and costs latency.
+	Nagle bool
 	// MaxBackoff caps the exponential reconnect backoff (default 500ms;
 	// the first retry waits 5ms).
 	MaxBackoff time.Duration
@@ -93,18 +136,31 @@ type Config struct {
 	Faults *Faults
 }
 
+// dialFunc produces outbound connections; a test hook substitutes
+// fault-injecting fakes for deterministic break/retry coverage.
+type dialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
 // Mesh is a live cluster whose messages flow over TCP loopback.
 type Mesh struct {
 	cfg       Config
 	cluster   *live.Cluster
 	listeners []net.Listener
-	addrs     []string
+	dial      dialFunc
+
+	// Send-path state is read lock-free: Mesh.send runs on every protocol
+	// task concurrently, and the CT-style ◇P workload calls it n²−n times
+	// per period — a mesh-wide mutex there serializes the whole cluster.
+	stopped atomic.Bool
+	crashed []atomic.Bool          // by id-1
+	peerTab []atomic.Pointer[peer] // by destination id-1; nil until first use
+
+	// Cumulative outbound volume, for WireStats.
+	wireFrames atomic.Int64
+	wireBytes  atomic.Int64
 
 	mu      sync.Mutex
-	peers   map[dsys.ProcessID]*peer // outbound queues+writers by destination
+	addrs   []string
 	inbound map[net.Conn]dsys.ProcessID
-	crashed map[dsys.ProcessID]bool
-	stopped bool
 	wg      sync.WaitGroup
 }
 
@@ -120,6 +176,9 @@ func New(cfg Config) (*Mesh, error) {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 1024
 	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 500 * time.Millisecond
 	}
@@ -128,9 +187,12 @@ func New(cfg Config) (*Mesh, error) {
 	}
 	m := &Mesh{
 		cfg:     cfg,
-		peers:   make(map[dsys.ProcessID]*peer),
+		crashed: make([]atomic.Bool, cfg.N),
+		peerTab: make([]atomic.Pointer[peer], cfg.N),
 		inbound: make(map[net.Conn]dsys.ProcessID),
-		crashed: make(map[dsys.ProcessID]bool),
+	}
+	m.dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, timeout)
 	}
 	m.cluster = live.NewCluster(live.Config{
 		N:         cfg.N,
@@ -173,6 +235,13 @@ func (m *Mesh) setAddr(id dsys.ProcessID, addr string) {
 	m.mu.Unlock()
 }
 
+// WireStats reports cumulative outbound transport volume — frames written and
+// bytes put on the wire by every peer writer since the mesh started. E15 uses
+// it to compare per-frame encoding cost across codecs.
+func (m *Mesh) WireStats() (frames, bytes int64) {
+	return m.wireFrames.Load(), m.wireBytes.Load()
+}
+
 // Spawn starts a task of process id.
 func (m *Mesh) Spawn(id dsys.ProcessID, name string, fn dsys.TaskFunc) {
 	m.cluster.Spawn(id, name, fn)
@@ -186,11 +255,10 @@ func (m *Mesh) onLink(event string, from, to dsys.ProcessID) {
 // Crash permanently crashes process id: its tasks are unwound, its listener
 // and connections close, and the mesh stops carrying traffic to and from it.
 func (m *Mesh) Crash(id dsys.ProcessID) {
+	m.crashed[id-1].Store(true)
 	m.mu.Lock()
-	m.crashed[id] = true
 	ln := m.listeners[id-1]
-	pr := m.peers[id]
-	delete(m.peers, id)
+	pr := m.peerTab[id-1].Swap(nil)
 	var ins []net.Conn
 	for c, owner := range m.inbound {
 		if owner == id {
@@ -210,19 +278,18 @@ func (m *Mesh) Crash(id dsys.ProcessID) {
 
 // Stop closes every socket, terminates the writers and unwinds the cluster.
 func (m *Mesh) Stop() {
-	m.mu.Lock()
-	if m.stopped {
-		m.mu.Unlock()
+	if !m.stopped.CompareAndSwap(false, true) {
 		m.cluster.Stop()
 		return
 	}
-	m.stopped = true
+	m.mu.Lock()
 	lns := m.listeners
-	prs := make([]*peer, 0, len(m.peers))
-	for _, pr := range m.peers {
-		prs = append(prs, pr)
+	var prs []*peer
+	for i := range m.peerTab {
+		if pr := m.peerTab[i].Swap(nil); pr != nil {
+			prs = append(prs, pr)
+		}
 	}
-	m.peers = make(map[dsys.ProcessID]*peer)
 	ins := make([]net.Conn, 0, len(m.inbound))
 	for c := range m.inbound {
 		ins = append(ins, c)
@@ -245,21 +312,17 @@ func (m *Mesh) Stop() {
 // mesh (traced as "tcp.reset"). Writers reconnect with backoff and traffic
 // resumes — the chaos knob used by the soak tests to exercise recovery.
 func (m *Mesh) ResetConns() {
-	m.mu.Lock()
-	prs := make([]*peer, 0, len(m.peers))
-	for _, pr := range m.peers {
-		prs = append(prs, pr)
-	}
-	m.mu.Unlock()
-	for _, pr := range prs {
-		pr.resetConn()
+	for i := range m.peerTab {
+		if pr := m.peerTab[i].Load(); pr != nil {
+			pr.resetConn()
+		}
 	}
 }
 
 // send implements the live transport hook: apply injected faults, then hand
 // the frame to the destination's outbound queue. It never blocks on the
 // network.
-func (m *Mesh) send(msg *dsys.Message) {
+func (m *Mesh) send(msg dsys.Message) {
 	if fa := m.cfg.Faults; fa != nil {
 		if fa.partitioned(msg.From, msg.To) {
 			m.onLink("tcp.cut", msg.From, msg.To)
@@ -283,20 +346,37 @@ func (m *Mesh) send(msg *dsys.Message) {
 }
 
 // peer returns (creating on first use) the outbound queue for destination
-// to, or nil when the mesh is stopped or either endpoint has crashed.
+// to, or nil when the mesh is stopped or either endpoint has crashed. The
+// steady-state path is three atomic loads — the mesh mutex is only taken to
+// create a destination's queue the first time anyone sends to it.
 func (m *Mesh) peer(to, from dsys.ProcessID) *peer {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.stopped || m.crashed[to] || m.crashed[from] {
+	if to < 1 || int(to) > len(m.peerTab) {
 		return nil
 	}
-	pr := m.peers[to]
-	if pr == nil {
-		pr = newPeer(m, to)
-		m.peers[to] = pr
-		m.wg.Add(1)
-		go pr.run()
+	if m.stopped.Load() || m.crashed[to-1].Load() || m.crashed[from-1].Load() {
+		return nil
 	}
+	if pr := m.peerTab[to-1].Load(); pr != nil {
+		return pr
+	}
+	return m.peerSlow(to)
+}
+
+// peerSlow creates the destination's queue under the mesh lock, re-checking
+// liveness so a racing Crash/Stop cannot resurrect a closed destination.
+func (m *Mesh) peerSlow(to dsys.ProcessID) *peer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped.Load() || m.crashed[to-1].Load() {
+		return nil
+	}
+	if pr := m.peerTab[to-1].Load(); pr != nil {
+		return pr
+	}
+	pr := newPeer(m, to)
+	m.peerTab[to-1].Store(pr)
+	m.wg.Add(1)
+	go pr.run()
 	return pr
 }
 
@@ -305,7 +385,7 @@ func (m *Mesh) peer(to, from dsys.ProcessID) *peer {
 func (m *Mesh) registerInbound(conn net.Conn, owner dsys.ProcessID) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.stopped || m.crashed[owner] {
+	if m.stopped.Load() || m.crashed[owner-1].Load() {
 		conn.Close()
 		return false
 	}
@@ -336,13 +416,40 @@ func (m *Mesh) acceptLoop(id dsys.ProcessID, ln net.Listener) {
 	}
 }
 
-// readLoop decodes frames off one accepted connection. Malformed frames are
-// dropped and traced; only connection teardown ends the loop.
+// readLoop decodes frames off one accepted connection. Out-of-range frames
+// are dropped and traced; a stream whose framing goes bad is dropped whole
+// (resynchronization is impossible once a length prefix is suspect); only
+// connection teardown ends the loop silently.
 func (m *Mesh) readLoop(id dsys.ProcessID, conn net.Conn) {
 	defer m.wg.Done()
 	defer m.unregisterInbound(conn)
 	defer conn.Close()
+	if m.cfg.Codec == CodecGob {
+		m.readLoopGob(id, conn)
+		return
+	}
+	br := bufio.NewReaderSize(conn, 32<<10)
+	var buf []byte
+	var ar msgArena
+	for {
+		f, b, err := wire.ReadFrame(br, buf)
+		buf = b
+		if err != nil {
+			if errors.Is(err, wire.ErrMalformed) {
+				m.onLink("tcp.badframe", f.From, id)
+			}
+			return
+		}
+		if !m.inject(&ar, id, f.From, f.To, f.Kind, f.Payload) {
+			return
+		}
+	}
+}
+
+// readLoopGob is the legacy-codec read side: one gob stream per connection.
+func (m *Mesh) readLoopGob(id dsys.ProcessID, conn net.Conn) {
 	dec := gob.NewDecoder(conn)
+	var ar msgArena
 	for {
 		var f frame
 		if err := dec.Decode(&f); err != nil {
@@ -353,28 +460,55 @@ func (m *Mesh) readLoop(id dsys.ProcessID, conn net.Conn) {
 			}
 			return
 		}
-		// Validate bounds before the frame can reach cluster.Inject, whose
-		// id lookup panics on out-of-range processes. A frame addressed to
-		// some other process arriving on this listener is equally invalid.
-		if f.From < 1 || int(f.From) > m.cfg.N || f.To != id {
-			m.onLink("tcp.badframe", f.From, id)
-			continue
+		if !m.inject(&ar, id, f.From, f.To, f.Kind, f.Payload) {
+			return
 		}
-		m.mu.Lock()
-		dead := m.stopped || m.crashed[f.To] || m.crashed[f.From]
-		stopped := m.stopped
-		m.mu.Unlock()
-		if dead {
-			if stopped {
-				return
-			}
-			continue
-		}
-		m.cluster.Inject(&dsys.Message{
-			From: f.From, To: f.To, Kind: f.Kind, Payload: f.Payload,
-			SentAt: m.cluster.Now(),
-		})
 	}
+}
+
+// msgArena chunk-allocates the dsys.Messages a read loop delivers: one heap
+// allocation per arenaChunk messages instead of one per message — the last
+// per-message allocation on the receive path. Each read loop owns its arena
+// (single goroutine, no locking). A chunk is garbage once all of its messages
+// are; a long-retained message pins at most arenaChunk-1 siblings (~4KB),
+// which is cheap against the allocator pressure of the n²-heartbeat path.
+type msgArena struct {
+	chunk []dsys.Message
+}
+
+const arenaChunk = 64
+
+func (a *msgArena) new(msg dsys.Message) *dsys.Message {
+	if len(a.chunk) == 0 {
+		a.chunk = make([]dsys.Message, arenaChunk)
+	}
+	m := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	*m = msg
+	return m
+}
+
+// inject validates one received frame and delivers it into the cluster.
+// It returns false when the read loop should end (mesh stopped).
+func (m *Mesh) inject(ar *msgArena, id, from, to dsys.ProcessID, kind string, payload any) bool {
+	// Validate bounds before the frame can reach cluster.Inject, whose id
+	// lookup panics on out-of-range processes. A frame addressed to some
+	// other process arriving on this listener is equally invalid.
+	if from < 1 || int(from) > m.cfg.N || to != id {
+		m.onLink("tcp.badframe", from, id)
+		return true
+	}
+	if m.stopped.Load() {
+		return false
+	}
+	if m.crashed[to-1].Load() || m.crashed[from-1].Load() {
+		return true
+	}
+	m.cluster.Inject(ar.new(dsys.Message{
+		From: from, To: to, Kind: kind, Payload: payload,
+		SentAt: m.cluster.Now(),
+	}))
+	return true
 }
 
 // isTeardown reports whether a decode error is ordinary connection teardown
@@ -387,10 +521,11 @@ func isTeardown(err error) bool {
 	return errors.As(err, &opErr)
 }
 
-// outFrame is one queued outbound frame. retried marks that one encode
-// attempt already failed, bounding redelivery effort (a frame the encoder
-// itself rejects — e.g. an unregistered payload type — must not wedge the
-// writer forever).
+// outFrame is one queued outbound frame. retried marks that one delivery
+// attempt already failed, bounding redelivery effort: a frame is retried at
+// most once before it is dropped ("tcp.lost"), which keeps the link fair-lossy
+// without letting an unencodable payload or a flapping connection wedge the
+// writer forever.
 type outFrame struct {
 	f       frame
 	retried bool
@@ -398,10 +533,20 @@ type outFrame struct {
 
 const initialBackoff = 5 * time.Millisecond
 
+// Pools shared by all peer writers: encode buffers (one live per connected
+// writer) and the bufio.Writers wrapping outbound connections. Meshes come
+// and go in tests and experiments; pooling keeps the per-connection setup
+// allocation-free in steady state.
+var (
+	encBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4<<10); return &b }}
+	bwPool     = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, 32<<10) }}
+)
+
 // peer owns the outbound path to one destination: a bounded FIFO queue and
 // a writer goroutine that dials (and redials, with exponential backoff) the
-// destination's listener and encodes frames. Protocol tasks only ever touch
-// the queue, so TCP backpressure and dial latency never block a send.
+// destination's listener and writes frames in batches. Protocol tasks only
+// ever touch the queue, so TCP backpressure and dial latency never block a
+// send.
 type peer struct {
 	m  *Mesh
 	to dsys.ProcessID
@@ -437,19 +582,36 @@ func (pr *peer) enqueue(of outFrame) {
 	pr.mu.Unlock()
 }
 
-// next blocks until a frame is queued or the peer is closed.
-func (pr *peer) next() (outFrame, bool) {
+// awaitFrames blocks until at least one frame is queued, WITHOUT dequeuing
+// anything — frames stay in the queue (where overflow accounting sees them)
+// until the writer has a live connection to put them on.
+func (pr *peer) awaitFrames() bool {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
 	for len(pr.q) == 0 && !pr.closed {
 		pr.cond.Wait()
 	}
+	return !pr.closed
+}
+
+// drain moves up to Config.Batch queued frames into dst (reused across
+// calls), compacting the queue. Reports false when the peer closed.
+func (pr *peer) drain(dst []outFrame) ([]outFrame, bool) {
+	dst = dst[:0]
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
 	if pr.closed {
-		return outFrame{}, false
+		return dst, false
 	}
-	of := pr.q[0]
-	pr.q = pr.q[1:]
-	return of, true
+	n := min(len(pr.q), pr.m.cfg.Batch)
+	dst = append(dst, pr.q[:n]...)
+	rem := copy(pr.q, pr.q[n:])
+	// Zero the vacated tail so shifted-out frames don't pin their payloads.
+	for i := rem; i < len(pr.q); i++ {
+		pr.q[i] = outFrame{}
+	}
+	pr.q = pr.q[:rem]
+	return dst, true
 }
 
 // close shuts the peer down: the writer exits, queued frames are discarded,
@@ -473,7 +635,7 @@ func (pr *peer) close() {
 }
 
 // resetConn forcibly closes the current connection (if any); the writer
-// notices on its next encode and redials.
+// notices on its next write and redials.
 func (pr *peer) resetConn() {
 	pr.mu.Lock()
 	conn := pr.conn
@@ -481,52 +643,6 @@ func (pr *peer) resetConn() {
 	if conn != nil {
 		pr.m.onLink("tcp.reset", dsys.None, pr.to)
 		conn.Close()
-	}
-}
-
-// run is the writer goroutine: drain the queue, (re)connecting as needed.
-func (pr *peer) run() {
-	defer pr.m.wg.Done()
-	var conn net.Conn
-	var enc *gob.Encoder
-	backoff := initialBackoff
-	for {
-		of, ok := pr.next()
-		if !ok {
-			if conn != nil {
-				conn.Close()
-			}
-			return
-		}
-		for {
-			if conn == nil {
-				conn, enc = pr.connect(&backoff)
-				if conn == nil {
-					return // closed while reconnecting; frame lost
-				}
-			}
-			err := enc.Encode(&of.f)
-			if err == nil {
-				if fa := pr.m.cfg.Faults; fa != nil && fa.chance(fa.ResetP) {
-					pr.m.onLink("tcp.reset", of.f.From, pr.to)
-					conn.Close()
-					conn, enc = pr.swapConn(nil), nil
-				}
-				break
-			}
-			// Connection broke mid-write (or the encoder rejected the
-			// value). Tear down and retry the frame once on a fresh
-			// connection; after that the frame is lost (fair-lossy) but
-			// the link itself keeps going.
-			pr.m.onLink("tcp.break", of.f.From, pr.to)
-			conn.Close()
-			conn, enc = pr.swapConn(nil), nil
-			if of.retried {
-				pr.m.onLink("tcp.lost", of.f.From, pr.to)
-				break
-			}
-			of.retried = true
-		}
 	}
 }
 
@@ -547,35 +663,288 @@ func (pr *peer) swapConn(conn net.Conn) net.Conn {
 	return conn
 }
 
+// peerWriter is the writer goroutine's connection state: the live conn plus
+// the codec machinery on top of it (pooled buffered writer and encode buffer
+// for the wire codec, stream encoder for the legacy gob codec).
+type peerWriter struct {
+	pr     *peer
+	conn   net.Conn
+	bw     *bufio.Writer // wire codec: pooled, wraps conn
+	encBuf *[]byte       // wire codec: pooled batch encode buffer
+	ends   []int         // wire codec: per-frame end offsets into encBuf
+	genc   *gob.Encoder  // legacy codec: stream encoder over conn
+}
+
+// Sentinel end-offsets for frames the codec itself rejected (no bytes):
+const (
+	endKeep = -1 // first marshal failure — kept for one retry
+	endDrop = -2 // second marshal failure — frame lost, accounted
+)
+
+// run is the writer goroutine: await traffic, (re)connect, drain a batch,
+// write it with one flush. Frames that survive a broken attempt stay in
+// pending (ahead of newer queue traffic, preserving per-sender order).
+func (pr *peer) run() {
+	defer pr.m.wg.Done()
+	w := peerWriter{pr: pr}
+	w.encBuf = encBufPool.Get().(*[]byte)
+	defer func() {
+		w.teardown()
+		encBufPool.Put(w.encBuf)
+	}()
+	backoff := initialBackoff
+	var pending []outFrame
+	for {
+		if len(pending) == 0 {
+			if !pr.awaitFrames() {
+				return
+			}
+		}
+		if w.conn == nil {
+			if !w.connect(&backoff) {
+				return // closed while reconnecting; pending frames lost
+			}
+		}
+		if len(pending) == 0 {
+			var ok bool
+			pending, ok = pr.drain(pending)
+			if !ok {
+				return
+			}
+			if len(pending) == 0 {
+				continue
+			}
+		}
+		pending = w.writeBatch(pending)
+	}
+}
+
 // connect dials the destination until it succeeds or the peer is closed,
 // sleeping *backoff (doubled up to the cap) between failed attempts. On
-// success the backoff resets and the connection is published.
-func (pr *peer) connect(backoff *time.Duration) (net.Conn, *gob.Encoder) {
+// success the backoff resets, the connection is published, and the codec
+// state is armed.
+func (w *peerWriter) connect(backoff *time.Duration) bool {
+	pr, m := w.pr, w.pr.m
 	for {
 		select {
 		case <-pr.closedCh:
-			return nil, nil
+			return false
 		default:
 		}
-		conn, err := net.DialTimeout("tcp", pr.m.addrOf(pr.to), pr.m.cfg.DialTimeout)
+		conn, err := m.dial(m.addrOf(pr.to), m.cfg.DialTimeout)
 		if err == nil {
 			if pr.swapConn(conn) == nil {
-				return nil, nil
+				return false
 			}
-			pr.m.onLink("tcp.dial", dsys.None, pr.to)
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(!m.cfg.Nagle)
+			}
+			m.onLink("tcp.dial", dsys.None, pr.to)
 			*backoff = initialBackoff
-			return conn, gob.NewEncoder(conn)
+			w.conn = conn
+			if m.cfg.Codec == CodecGob {
+				w.genc = gob.NewEncoder(&countWriter{m: m, conn: conn})
+			} else {
+				w.bw = bwPool.Get().(*bufio.Writer)
+				w.bw.Reset(conn)
+			}
+			return true
 		}
-		pr.m.onLink("tcp.dialfail", dsys.None, pr.to)
+		m.onLink("tcp.dialfail", dsys.None, pr.to)
 		t := time.NewTimer(*backoff)
 		select {
 		case <-t.C:
 		case <-pr.closedCh:
 			t.Stop()
-			return nil, nil
+			return false
 		}
-		if *backoff *= 2; *backoff > pr.m.cfg.MaxBackoff {
-			*backoff = pr.m.cfg.MaxBackoff
+		if *backoff *= 2; *backoff > m.cfg.MaxBackoff {
+			*backoff = m.cfg.MaxBackoff
 		}
 	}
+}
+
+// teardown closes and unpublishes the connection and returns the pooled
+// writer state.
+func (w *peerWriter) teardown() {
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+		w.pr.swapConn(nil)
+	}
+	if w.bw != nil {
+		w.bw.Reset(io.Discard) // drop unflushed bytes before pooling
+		bwPool.Put(w.bw)
+		w.bw = nil
+	}
+	w.genc = nil
+}
+
+// writeBatch attempts one delivery of batch and returns the frames still
+// pending — empty on full success, the retry-once survivors after a break.
+func (w *peerWriter) writeBatch(batch []outFrame) []outFrame {
+	if w.genc != nil {
+		return w.writeGob(batch)
+	}
+	return w.writeWire(batch)
+}
+
+// writeWire writes a batch under the wire codec: marshal every frame into
+// the shared encode buffer, hand the spans to the buffered writer, flush
+// once. Accounting mirrors the unbatched writer per frame:
+//
+//   - a frame the codec rejects (gob-fallback failure on an unregistered
+//     payload) gets "tcp.break" and one retry, then "tcp.break"+"tcp.lost" —
+//     the connection is untouched, marshalling is not a link fault;
+//   - a write or flush error is one "tcp.break" and a teardown; every frame
+//     of the failed attempt is retried once, in order, ahead of new traffic
+//     on the fresh connection, and a frame whose retry also breaks is
+//     dropped with "tcp.lost". Frames after the error point were never
+//     attempted and stay pristine (no retry consumed).
+func (w *peerWriter) writeWire(batch []outFrame) []outFrame {
+	pr, m := w.pr, w.pr.m
+	buf := (*w.encBuf)[:0]
+	w.ends = w.ends[:0]
+
+	// Marshal pass: frames become byte spans in buf.
+	for i := range batch {
+		of := &batch[i]
+		out, err := wire.AppendFrame(buf, &wire.Frame{
+			From: of.f.From, To: of.f.To, Kind: of.f.Kind, Payload: of.f.Payload,
+		})
+		if err != nil {
+			m.onLink("tcp.break", of.f.From, pr.to)
+			if of.retried {
+				m.onLink("tcp.lost", of.f.From, pr.to)
+				w.ends = append(w.ends, endDrop)
+			} else {
+				w.ends = append(w.ends, endKeep)
+			}
+			continue
+		}
+		w.ends = append(w.ends, len(out))
+		buf = out
+	}
+	*w.encBuf = buf
+
+	// Write pass: every span through the buffered writer, one flush.
+	var werr error
+	attemptEnd := len(batch) // frames [0,attemptEnd) were part of a failed attempt
+	failFrom := dsys.None
+	start, firstWritten := 0, -1
+	for i := range batch {
+		end := w.ends[i]
+		if end < 0 {
+			continue
+		}
+		if firstWritten < 0 {
+			firstWritten = i
+		}
+		if _, werr = w.bw.Write(buf[start:end]); werr != nil {
+			attemptEnd = i + 1
+			failFrom = batch[i].f.From
+			break
+		}
+		m.wireFrames.Add(1)
+		m.wireBytes.Add(int64(end - start))
+		start = end
+	}
+	if werr == nil && firstWritten >= 0 {
+		if werr = w.bw.Flush(); werr != nil {
+			failFrom = batch[firstWritten].f.From
+		}
+	}
+
+	keep := batch[:0]
+	if werr == nil {
+		// Delivered. Roll forced resets per flushed frame, matching the
+		// per-frame roll of the unbatched writer.
+		if fa := m.cfg.Faults; fa != nil && fa.ResetP > 0 && firstWritten >= 0 && w.conn != nil {
+			for i := range batch {
+				if w.ends[i] < 0 || !fa.chance(fa.ResetP) {
+					continue
+				}
+				m.onLink("tcp.reset", batch[i].f.From, pr.to)
+				w.teardown()
+				break
+			}
+		}
+		for i := range batch {
+			if w.ends[i] == endKeep {
+				batch[i].retried = true
+				keep = append(keep, batch[i])
+			}
+		}
+		return keep
+	}
+
+	// The connection broke with the batch in flight.
+	m.onLink("tcp.break", failFrom, pr.to)
+	w.teardown()
+	for i := range batch {
+		of := &batch[i]
+		switch {
+		case w.ends[i] == endDrop: // lost, already accounted
+		case w.ends[i] == endKeep:
+			of.retried = true
+			keep = append(keep, *of)
+		case i < attemptEnd:
+			if of.retried {
+				m.onLink("tcp.lost", of.f.From, pr.to)
+			} else {
+				of.retried = true
+				keep = append(keep, *of)
+			}
+		default: // never attempted: no retry consumed
+			keep = append(keep, *of)
+		}
+	}
+	return keep
+}
+
+// writeGob writes a batch under the legacy codec: one unbuffered gob Encode
+// per frame, exactly the pre-wire transport behaviour (it is the measured
+// baseline, so it must not accidentally batch).
+func (w *peerWriter) writeGob(batch []outFrame) []outFrame {
+	pr, m := w.pr, w.pr.m
+	fa := m.cfg.Faults
+	for i := range batch {
+		of := &batch[i]
+		if err := w.genc.Encode(&of.f); err != nil {
+			// Connection broke mid-write (or the encoder rejected the
+			// value). Tear down and retry the frame once on a fresh
+			// connection; after that the frame is lost (fair-lossy) but
+			// the link itself keeps going.
+			m.onLink("tcp.break", of.f.From, pr.to)
+			w.teardown()
+			keep := batch[:0]
+			if of.retried {
+				m.onLink("tcp.lost", of.f.From, pr.to)
+			} else {
+				of.retried = true
+				keep = append(keep, *of)
+			}
+			return append(keep, batch[i+1:]...)
+		}
+		m.wireFrames.Add(1)
+		if fa != nil && fa.chance(fa.ResetP) {
+			m.onLink("tcp.reset", of.f.From, pr.to)
+			w.teardown()
+			return append(batch[:0], batch[i+1:]...)
+		}
+	}
+	return batch[:0]
+}
+
+// countWriter counts the bytes the legacy gob encoder puts on the wire, so
+// WireStats covers both codecs.
+type countWriter struct {
+	m    *Mesh
+	conn net.Conn
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.conn.Write(p)
+	c.m.wireBytes.Add(int64(n))
+	return n, err
 }

@@ -7,6 +7,7 @@ package trace
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dsys"
@@ -22,28 +23,114 @@ type MsgEvent struct {
 	Dropped bool
 }
 
+// counters is a concurrent map of named monotonic counters. The map is
+// published copy-on-write behind an atomic pointer, so the hot path — bumping
+// a counter whose name has been seen before, which is every message after the
+// first of its kind — is two atomic loads and an atomic add, no lock. Only
+// the first occurrence of a new name takes the mutex to republish the map.
+// The live transport calls these from every peer writer and read loop
+// concurrently; under the old single-mutex scheme that lock was measurable on
+// the n²-heartbeat hot path.
+type counters struct {
+	mu sync.Mutex // guards map republish only
+	m  atomic.Pointer[map[string]*atomic.Int64]
+}
+
+func (c *counters) add(name string, delta int64) {
+	if m := c.m.Load(); m != nil {
+		if ctr, ok := (*m)[name]; ok {
+			ctr.Add(delta)
+			return
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.m.Load()
+	if old != nil {
+		if ctr, ok := (*old)[name]; ok {
+			ctr.Add(delta)
+			return
+		}
+	}
+	next := make(map[string]*atomic.Int64, 8)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	ctr := new(atomic.Int64)
+	ctr.Add(delta)
+	next[name] = ctr
+	c.m.Store(&next)
+}
+
+func (c *counters) get(name string) int {
+	if m := c.m.Load(); m != nil {
+		if ctr, ok := (*m)[name]; ok {
+			return int(ctr.Load())
+		}
+	}
+	return 0
+}
+
+func (c *counters) total() int {
+	n := 0
+	if m := c.m.Load(); m != nil {
+		for _, ctr := range *m {
+			n += int(ctr.Load())
+		}
+	}
+	return n
+}
+
+func (c *counters) names() []string {
+	var ks []string
+	if m := c.m.Load(); m != nil {
+		ks = make([]string, 0, len(*m))
+		for k := range *m {
+			ks = append(ks, k)
+		}
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// reset atomically replaces the counter set with an empty one.
+func (c *counters) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := make(map[string]*atomic.Int64, 8)
+	c.m.Store(&next)
+}
+
 // Collector accumulates metrics. The zero value is ready to use with
 // counters only; set LogMessages before the run to retain the full message
 // log (needed by windowed per-period analyses). Collector is safe for
-// concurrent use so the same type serves the live runtime.
+// concurrent use so the same type serves the live runtime; the counter paths
+// (OnSend/OnDeliver/OnLink with LogMessages off) are lock-free after the
+// first message of each kind.
 type Collector struct {
-	// LogMessages retains every message in Events when true.
+	// LogMessages retains every message in Events when true. Set before the
+	// run starts.
 	LogMessages bool
 
-	mu        sync.Mutex
-	sent      map[string]int
-	dropped   map[string]int
-	delivered map[string]int
-	events    []MsgEvent
-	crashes   map[dsys.ProcessID]time.Duration
-	link      map[string]int
-	linkLog   []LinkEvent
-	timings   []Timing
+	sent      counters
+	dropped   counters
+	delivered counters
+	link      counters
+
 	// Windowed counting mode (SetCountWindow): per-kind send counts for one
 	// [from, to) window, so large-n sweeps measure steady-state rates without
 	// retaining a log entry per message.
-	winFrom, winTo time.Duration
-	sentWin        map[string]int
+	winOn          atomic.Bool
+	winFrom, winTo atomic.Int64 // time.Duration nanoseconds
+	sentWin        counters
+
+	mu      sync.Mutex // guards the logs below
+	events  []MsgEvent
+	crashes map[dsys.ProcessID]time.Duration
+	linkLog []LinkEvent
+	timings []Timing
 }
 
 // Timing is one experiment's runtime profile, recorded by the expt runner:
@@ -89,21 +176,20 @@ func (c *Collector) OnSend(m *dsys.Message, dropped bool) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.sent == nil {
-		c.sent = make(map[string]int)
-		c.dropped = make(map[string]int)
-	}
-	c.sent[m.Kind]++
+	c.sent.add(m.Kind, 1)
 	if dropped {
-		c.dropped[m.Kind]++
+		c.dropped.add(m.Kind, 1)
 	}
-	if c.sentWin != nil && m.SentAt >= c.winFrom && m.SentAt < c.winTo {
-		c.sentWin[m.Kind]++
+	if c.winOn.Load() {
+		at := int64(m.SentAt)
+		if at >= c.winFrom.Load() && at < c.winTo.Load() {
+			c.sentWin.add(m.Kind, 1)
+		}
 	}
 	if c.LogMessages {
+		c.mu.Lock()
 		c.events = append(c.events, MsgEvent{At: m.SentAt, From: m.From, To: m.To, Kind: m.Kind, Payload: m.Payload, Dropped: dropped})
+		c.mu.Unlock()
 	}
 }
 
@@ -113,27 +199,21 @@ func (c *Collector) OnSend(m *dsys.Message, dropped bool) {
 // n=256 pay hundreds of MB for a 25-period measurement — the window costs
 // O(kinds) memory regardless of traffic. Call before the run starts.
 func (c *Collector) SetCountWindow(from, to time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.winFrom, c.winTo = from, to
-	c.sentWin = make(map[string]int)
+	c.winFrom.Store(int64(from))
+	c.winTo.Store(int64(to))
+	c.sentWin.reset()
+	c.winOn.Store(true)
 }
 
 // SentWithin returns the number of messages of the given kinds (all kinds
 // when empty) sent inside the SetCountWindow window.
 func (c *Collector) SentWithin(kinds ...string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if len(kinds) == 0 {
-		n := 0
-		for _, v := range c.sentWin {
-			n += v
-		}
-		return n
+		return c.sentWin.total()
 	}
 	n := 0
 	for _, k := range kinds {
-		n += c.sentWin[k]
+		n += c.sentWin.get(k)
 	}
 	return n
 }
@@ -143,12 +223,7 @@ func (c *Collector) OnDeliver(m *dsys.Message) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.delivered == nil {
-		c.delivered = make(map[string]int)
-	}
-	c.delivered[m.Kind]++
+	c.delivered.add(m.Kind, 1)
 }
 
 // OnCrash records the crash time of a process.
@@ -171,14 +246,11 @@ func (c *Collector) OnLink(event string, from, to dsys.ProcessID, at time.Durati
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.link == nil {
-		c.link = make(map[string]int)
-	}
-	c.link[event]++
+	c.link.add(event, 1)
 	if c.LogMessages {
+		c.mu.Lock()
 		c.linkLog = append(c.linkLog, LinkEvent{At: at, Event: event, From: from, To: to})
+		c.mu.Unlock()
 	}
 }
 
@@ -203,21 +275,12 @@ func (c *Collector) Timings() []Timing {
 
 // LinkEvents returns how many transport events of the given name occurred.
 func (c *Collector) LinkEvents(event string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.link[event]
+	return c.link.get(event)
 }
 
 // LinkEventNames returns all transport event names seen, sorted.
 func (c *Collector) LinkEventNames() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ks := make([]string, 0, len(c.link))
-	for k := range c.link {
-		ks = append(ks, k)
-	}
-	sort.Strings(ks)
-	return ks
+	return c.link.names()
 }
 
 // LinkLog returns a copy of the transport event log (requires LogMessages).
@@ -232,46 +295,32 @@ func (c *Collector) LinkLog() []LinkEvent {
 // Sent returns the number of messages of the given kind handed to the
 // network (including dropped ones).
 func (c *Collector) Sent(kind string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sent[kind]
+	return c.sent.get(kind)
 }
 
 // Delivered returns the number of messages of the given kind delivered.
 func (c *Collector) Delivered(kind string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.delivered[kind]
+	return c.delivered.get(kind)
 }
 
 // Dropped returns the number of messages of the given kind lost in transit.
 func (c *Collector) Dropped(kind string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dropped[kind]
+	return c.dropped.get(kind)
 }
 
 // TotalSent returns the number of messages sent across all kinds.
 func (c *Collector) TotalSent() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
-	for _, v := range c.sent {
-		n += v
-	}
-	return n
+	return c.sent.total()
+}
+
+// TotalDelivered returns the number of messages delivered across all kinds.
+func (c *Collector) TotalDelivered() int {
+	return c.delivered.total()
 }
 
 // Kinds returns all message kinds seen, sorted.
 func (c *Collector) Kinds() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ks := make([]string, 0, len(c.sent))
-	for k := range c.sent {
-		ks = append(ks, k)
-	}
-	sort.Strings(ks)
-	return ks
+	return c.sent.names()
 }
 
 // Events returns a copy of the message log (requires LogMessages).

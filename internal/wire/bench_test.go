@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/dsys"
+	"repro/internal/fd/omega"
+	"repro/internal/rbcast"
+)
+
+// gobFrame mirrors the envelope the pre-wire transport gob-encoded per frame.
+type gobFrame struct {
+	From, To dsys.ProcessID
+	Kind     string
+	Payload  any
+}
+
+func init() {
+	// The gob baseline encodes interface-typed payloads, which needs the
+	// concrete types registered — the transport's init does this in prod.
+	RegisterGob(&omega.BeatPayload{})
+	RegisterGob(consensus.Msg{})
+	RegisterGob(consensus.Decide{})
+	RegisterGob(rbcast.Wire{})
+}
+
+// benchFrames are the payload mix of a live detector+consensus workload: the
+// n²−n heartbeat beats dominate, with consensus and rbcast envelopes mixed in.
+func benchFrames() []Frame {
+	return []Frame{
+		{From: 1, To: 2, Kind: "omega.leaderbeat", Payload: &omega.BeatPayload{}},
+		{From: 2, To: 1, Kind: "hb.alive", Payload: nil},
+		{From: 1, To: 3, Kind: "cons.p1", Payload: consensus.Msg{Inst: "slot-12", Round: 2, Est: "value-a", TS: 1}},
+		{From: 3, To: 1, Kind: "rb.msg", Payload: rbcast.Wire{Origin: 3, Seq: 40, Payload: consensus.Decide{Inst: "slot-12", Round: 2, Value: "value-a"}}},
+	}
+}
+
+// BenchmarkWireCodec compares the wire codec against the gob streams the
+// transport used before, over the same frame mix. The "/gob" pairs are the
+// baseline BENCH_PR5.json records the speedup against.
+func BenchmarkWireCodec(b *testing.B) {
+	frames := benchFrames()
+
+	b.Run("encode/wire", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		var err error
+		for i := 0; i < b.N; i++ {
+			buf, err = AppendFrame(buf[:0], &frames[i%len(frames)])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode/gob", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink bytes.Buffer
+		enc := gob.NewEncoder(&sink)
+		for i := 0; i < b.N; i++ {
+			f := frames[i%len(frames)]
+			if err := enc.Encode(&gobFrame{f.From, f.To, f.Kind, f.Payload}); err != nil {
+				b.Fatal(err)
+			}
+			sink.Reset()
+		}
+	})
+	b.Run("roundtrip/wire", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		var err error
+		for i := 0; i < b.N; i++ {
+			buf, err = AppendFrame(buf[:0], &frames[i%len(frames)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err = DecodeFrame(buf[4:]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("roundtrip/gob", func(b *testing.B) {
+		b.ReportAllocs()
+		var pipe bytes.Buffer
+		enc := gob.NewEncoder(&pipe)
+		dec := gob.NewDecoder(&pipe)
+		for i := 0; i < b.N; i++ {
+			f := frames[i%len(frames)]
+			if err := enc.Encode(&gobFrame{f.From, f.To, f.Kind, f.Payload}); err != nil {
+				b.Fatal(err)
+			}
+			var out gobFrame
+			if err := dec.Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

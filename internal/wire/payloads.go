@@ -1,0 +1,104 @@
+package wire
+
+// Hand-rolled codecs for the hot protocol payload types. These are the
+// payloads every detector/consensus workload sends per period — the CT-style
+// ◇P heartbeat alone is n²−n of them — so each gets a field-by-field codec
+// instead of the gob fallback. The registration order below fixes the wire
+// ids; it is append-only (add new types at the end).
+//
+// Each codec must keep enc and dec exactly mirrored; TestPayloadRoundTrips
+// and FuzzWireRoundTrip enforce it.
+
+import (
+	"repro/internal/consensus"
+	"repro/internal/consensus/mrc"
+	"repro/internal/core"
+	"repro/internal/fd/omega"
+	"repro/internal/rbcast"
+)
+
+func init() {
+	// Ω leader heartbeat (sent as a pointer by omega's beacon task).
+	Register(&omega.BeatPayload{},
+		func(e *Encoder, v any) {
+			e.Value(v.(*omega.BeatPayload).Attachment)
+		},
+		func(d *Decoder) any {
+			return &omega.BeatPayload{Attachment: d.Value()}
+		})
+	// Consensus round envelope.
+	Register(consensus.Msg{},
+		func(e *Encoder, v any) {
+			m := v.(consensus.Msg)
+			e.String(m.Inst)
+			e.Varint(int64(m.Round))
+			e.Value(m.Est)
+			e.Varint(int64(m.TS))
+			e.Bool(m.Null)
+		},
+		func(d *Decoder) any {
+			return consensus.Msg{
+				Inst:  d.String(),
+				Round: d.Int(),
+				Est:   d.Value(),
+				TS:    d.Int(),
+				Null:  d.Bool(),
+			}
+		})
+	// Decision dissemination (rides inside rbcast.Wire).
+	Register(consensus.Decide{},
+		func(e *Encoder, v any) {
+			m := v.(consensus.Decide)
+			e.String(m.Inst)
+			e.Varint(int64(m.Round))
+			e.Value(m.Value)
+		},
+		func(d *Decoder) any {
+			return consensus.Decide{Inst: d.String(), Round: d.Int(), Value: d.Value()}
+		})
+	// Reliable-broadcast envelope.
+	Register(rbcast.Wire{},
+		func(e *Encoder, v any) {
+			m := v.(rbcast.Wire)
+			e.Varint(int64(m.Origin))
+			e.Varint(int64(m.Seq))
+			e.Value(m.Payload)
+		},
+		func(d *Decoder) any {
+			return rbcast.Wire{Origin: d.PID(), Seq: d.Int(), Payload: d.Value()}
+		})
+	// MR consensus phase-1 leader announcement (rides in consensus.Msg.Est).
+	Register(mrc.LdrInfo{},
+		func(e *Encoder, v any) {
+			m := v.(mrc.LdrInfo)
+			e.Varint(int64(m.Leader))
+			e.Value(m.Est)
+		},
+		func(d *Decoder) any {
+			return mrc.LdrInfo{Leader: d.PID(), Est: d.Value()}
+		})
+	// Replicated-log command.
+	Register(core.Command{},
+		func(e *Encoder, v any) { encCommand(e, v.(core.Command)) },
+		func(d *Decoder) any { return decCommand(d) })
+	// Slot announcement (embeds a Command; encoded inline, no nested tag).
+	Register(core.Kick{},
+		func(e *Encoder, v any) {
+			m := v.(core.Kick)
+			e.Varint(int64(m.Slot))
+			encCommand(e, m.Cmd)
+		},
+		func(d *Decoder) any {
+			return core.Kick{Slot: d.Int(), Cmd: decCommand(d)}
+		})
+}
+
+func encCommand(e *Encoder, c core.Command) {
+	e.Varint(int64(c.Origin))
+	e.Varint(int64(c.Seq))
+	e.Value(c.Payload)
+}
+
+func decCommand(d *Decoder) core.Command {
+	return core.Command{Origin: d.PID(), Seq: d.Int(), Payload: d.Value()}
+}

@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+	"unsafe"
+
+	"repro/internal/consensus"
+	"repro/internal/consensus/mrc"
+	"repro/internal/core"
+	"repro/internal/dsys"
+	"repro/internal/fd/omega"
+	"repro/internal/rbcast"
+)
+
+func init() {
+	// The gob-fallback test frame carries an interface-typed map; the gob
+	// lane needs the concrete type registered, same as any transport user.
+	RegisterGob(map[string]int{})
+}
+
+// roundTrip encodes f and decodes it back through the full frame path.
+func roundTrip(t *testing.T, f Frame) Frame {
+	t.Helper()
+	b, err := AppendFrame(nil, &f)
+	if err != nil {
+		t.Fatalf("AppendFrame(%+v): %v", f, err)
+	}
+	got, buf, err := ReadFrame(bytes.NewReader(b), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame(%+v): %v", f, err)
+	}
+	_ = buf
+	return got
+}
+
+// testFrames covers every lane: nil/primitive payloads, all registered hot
+// payload structs including nested anys, the small slice types, and a
+// gob-fallback payload.
+func testFrames() []Frame {
+	return []Frame{
+		{From: 1, To: 2, Kind: "hb.alive", Payload: nil},
+		{From: 3, To: 1, Kind: "seq", Payload: 42},
+		{From: 3, To: 1, Kind: "neg", Payload: -7},
+		{From: 1, To: 2, Kind: "s", Payload: "hello-over-tcp"},
+		{From: 1, To: 2, Kind: "b", Payload: true},
+		{From: 1, To: 2, Kind: "f", Payload: 3.25},
+		{From: 1, To: 2, Kind: "i64", Payload: int64(-1 << 40)},
+		{From: 1, To: 2, Kind: "u", Payload: uint(9)},
+		{From: 1, To: 2, Kind: "u32", Payload: uint32(7)},
+		{From: 1, To: 2, Kind: "u64", Payload: uint64(1) << 60},
+		{From: 1, To: 2, Kind: "by", Payload: []byte{0, 1, 2, 255}},
+		{From: 1, To: 2, Kind: "pid", Payload: dsys.ProcessID(5)},
+		{From: 1, To: 2, Kind: "dur", Payload: 1500 * time.Millisecond},
+		{From: 1, To: 2, Kind: "ring.beat", Payload: []dsys.ProcessID{3, 1, 2}},
+		{From: 1, To: 2, Kind: "u32s", Payload: []uint32{1, 2, 3}},
+		{From: 1, To: 2, Kind: "omega.counters", Payload: []uint64{9, 0, 1 << 50}},
+		{From: 2, To: 4, Kind: "omega.leaderbeat", Payload: &omega.BeatPayload{}},
+		{From: 2, To: 4, Kind: "omega.leaderbeat", Payload: &omega.BeatPayload{Attachment: []dsys.ProcessID{2}}},
+		{From: 1, To: 3, Kind: "cons.p1", Payload: consensus.Msg{Inst: "slot-4", Round: 3, Est: "v-p1", TS: 2}},
+		{From: 1, To: 3, Kind: "cons.p2", Payload: consensus.Msg{Inst: "x", Round: 1, Null: true}},
+		{From: 1, To: 3, Kind: "cons.p1", Payload: consensus.Msg{Inst: "x", Round: 1, Est: mrc.LdrInfo{Leader: 2, Est: 11}}},
+		{From: 5, To: 1, Kind: "rb.msg", Payload: rbcast.Wire{Origin: 5, Seq: 17, Payload: consensus.Decide{Inst: "i", Round: 2, Value: "v"}}},
+		{From: 5, To: 1, Kind: "core.kick", Payload: core.Kick{Slot: 9, Cmd: core.Command{Origin: 2, Seq: 3, Payload: "cmd"}}},
+		{From: 5, To: 1, Kind: "cmd", Payload: core.Command{Origin: 1, Seq: 1, Payload: nil}},
+		{From: 1, To: 2, Kind: "gob", Payload: map[string]int{"a": 1}}, // fallback lane
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	for _, f := range testFrames() {
+		got := roundTrip(t, f)
+		if !reflect.DeepEqual(got, f) {
+			t.Errorf("round trip mangled frame:\n got  %#v\n want %#v", got, f)
+		}
+	}
+}
+
+// TestRegisteredLaneUsed asserts the hot payloads do not silently fall into
+// the gob lane (which would still round-trip but defeat the codec).
+func TestRegisteredLaneUsed(t *testing.T) {
+	for _, v := range []any{
+		&omega.BeatPayload{}, consensus.Msg{}, consensus.Decide{},
+		rbcast.Wire{}, mrc.LdrInfo{}, core.Command{}, core.Kick{},
+	} {
+		if !Registered(v) {
+			t.Errorf("%T not in the registered fast lane", v)
+		}
+	}
+	// A beat frame must be tiny: 4B length + header + tag bytes, far below
+	// what gob's type preamble alone costs.
+	b, err := AppendFrame(nil, &Frame{From: 1, To: 2, Kind: "omega.leaderbeat", Payload: &omega.BeatPayload{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) > 32 {
+		t.Errorf("beat frame is %d bytes, want compact (<= 32)", len(b))
+	}
+}
+
+// TestRegisterIdempotent re-registers an already-registered type: the call
+// must be a no-op (first registration wins), never a panic, and ids must not
+// shift.
+func TestRegisterIdempotent(t *testing.T) {
+	before := len(*regByID.Load())
+	Register(consensus.Msg{},
+		func(e *Encoder, v any) { panic("second registration must not be installed") },
+		func(d *Decoder) any { panic("second registration must not be installed") })
+	if after := len(*regByID.Load()); after != before {
+		t.Fatalf("duplicate Register grew the registry: %d -> %d", before, after)
+	}
+	// The original codec must still be the live one.
+	f := Frame{From: 1, To: 2, Kind: "k", Payload: consensus.Msg{Inst: "i", Round: 1}}
+	if got := roundTrip(t, f); !reflect.DeepEqual(got, f) {
+		t.Fatalf("round trip after duplicate registration: %+v", got)
+	}
+	// The gob lane's registration is equally idempotent.
+	RegisterGob(consensus.Msg{})
+	RegisterGob(consensus.Msg{})
+}
+
+// TestTruncationsNeverPanic decodes every strict prefix of every valid body:
+// each must return ErrMalformed (or decode to a valid shorter frame — ruled
+// out by the trailing-bytes check), never panic.
+func TestTruncationsNeverPanic(t *testing.T) {
+	for _, f := range testFrames() {
+		whole, err := AppendFrame(nil, &f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := whole[4:]
+		for cut := 0; cut < len(body); cut++ {
+			if _, err := DecodeFrame(body[:cut]); err == nil {
+				t.Errorf("frame %q: %d-byte prefix of %d decoded cleanly", f.Kind, cut, len(body))
+			} else if !errors.Is(err, ErrMalformed) {
+				t.Errorf("frame %q prefix %d: error %v does not wrap ErrMalformed", f.Kind, cut, err)
+			}
+		}
+		// Trailing junk is equally malformed.
+		if _, err := DecodeFrame(append(append([]byte{}, body...), 0)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("frame %q: trailing byte accepted (%v)", f.Kind, err)
+		}
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"unknown tag":      {2, 4, 1, 'k', 0xff},
+		"unknown reg id":   {2, 4, 1, 'k', tagReg, 0xcf, 0x0f},
+		"huge slice count": {2, 4, 1, 'k', tagPIDs, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"huge string len":  {2, 4, 1, 'k', tagString, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"bad gob blob":     {2, 4, 1, 'k', tagGob, 3, 1, 2, 3},
+		"truncated varint": {0x80},
+		"overlong varint":  {2, 4, 1, 'k', tagInt, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80},
+	}
+	for name, body := range cases {
+		if _, err := DecodeFrame(body); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: got err %v, want ErrMalformed", name, err)
+		}
+	}
+	// A nesting bomb: rbcast.Wire payloads wrapping each other deeper than
+	// maxDepth must be rejected, not recurse the stack away.
+	deep := rbcast.Wire{}
+	var payload any
+	for i := 0; i < maxDepth+10; i++ {
+		deep = rbcast.Wire{Origin: 1, Seq: i, Payload: payload}
+		payload = deep
+	}
+	b, err := AppendFrame(nil, &Frame{From: 1, To: 2, Kind: "k", Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFrame(b[4:]); !errors.Is(err, ErrMalformed) {
+		t.Errorf("nesting bomb: got err %v, want ErrMalformed", err)
+	}
+}
+
+// TestReadFrameLengthCap: a length prefix beyond MaxFrameLen is malformed —
+// the reader must refuse before allocating.
+func TestReadFrameLengthCap(t *testing.T) {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], MaxFrameLen+1)
+	_, _, err := ReadFrame(bytes.NewReader(hdr[:]), nil)
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized length prefix: got %v, want ErrMalformed", err)
+	}
+}
+
+// TestKindInterning: decoding two frames of one kind must yield the same
+// backing string (pointer-equal), the allocation-free fast path.
+func TestKindInterning(t *testing.T) {
+	f := Frame{From: 1, To: 2, Kind: "intern.probe", Payload: nil}
+	a, b := roundTrip(t, f), roundTrip(t, f)
+	if unsafe.StringData(a.Kind) != unsafe.StringData(b.Kind) {
+		t.Error("decoded kinds not interned to one backing string")
+	}
+}
