@@ -430,6 +430,12 @@ func BenchmarkE15LiveThroughput(b *testing.B) {
 	runExperiment(b, expt.E15LiveThroughput)
 }
 
+// BenchmarkE16ClusterKillRestart regenerates the E16 table (quick mode: n=3
+// real ecnode processes, one follower SIGKILL + restart under client load).
+func BenchmarkE16ClusterKillRestart(b *testing.B) {
+	runExperiment(b, expt.E16ClusterKillRestart)
+}
+
 // BenchmarkRingDetectorSteadyState measures simulator throughput on the ring
 // detector's steady state — a substrate-level performance benchmark.
 func BenchmarkRingDetectorSteadyState(b *testing.B) {

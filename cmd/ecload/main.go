@@ -1,0 +1,229 @@
+// Command ecload drives sustained client traffic at a cluster of ecnode
+// processes and reports committed throughput and latency percentiles. Each
+// worker owns one node connection (workers round-robin over the given
+// addresses), proposes unique values in a closed loop — optionally paced by
+// a global rate cap — and redials with a short pause when its node dies, so
+// a kill/restart shows up as a throughput dip, not a crashed client.
+//
+// Usage:
+//
+//	ecload -addrs 127.0.0.1:7201,127.0.0.1:7202 [-duration 10s] [-conc 4]
+//	       [-rate 0] [-timeout 5s] [-json report.json]
+//
+// The human-readable summary goes to stdout; -json additionally writes the
+// machine-readable cluster.LoadReport ("-" writes it to stdout instead of
+// the summary). Exit status 1 means the run committed nothing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	addrsFlag := flag.String("addrs", "", "comma-separated ecnode client addresses (required)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	conc := flag.Int("conc", 4, "concurrent workers")
+	rate := flag.Int("rate", 0, "total ops/s cap across all workers (0 = closed loop)")
+	opTimeout := flag.Duration("timeout", 5*time.Second, "per-operation timeout")
+	jsonOut := flag.String("json", "", "write the JSON report to this file ('-' = stdout)")
+	flag.Parse()
+
+	var addrs []string
+	for _, a := range strings.Split(*addrsFlag, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "ecload: -addrs is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *conc < 1 || *duration <= 0 || *rate < 0 {
+		fmt.Fprintln(os.Stderr, "ecload: -conc must be >= 1, -duration > 0, -rate >= 0")
+		os.Exit(2)
+	}
+
+	rep := drive(addrs, *duration, *conc, *rate, *opTimeout)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			data = append(data, '\n')
+			if *jsonOut == "-" {
+				os.Stdout.Write(data)
+			} else {
+				err = os.WriteFile(*jsonOut, data, 0o644)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ecload: write report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut != "-" {
+		fmt.Printf("ecload: %d nodes, %d workers, %v\n", len(addrs), rep.Workers, *duration)
+		fmt.Printf("  committed  %d ops (%.1f ops/s), %d errors\n", rep.Committed, rep.OpsPerSec, rep.Errors)
+		fmt.Printf("  latency    p50 %.1fms  p95 %.1fms  p99 %.1fms\n", rep.P50MS, rep.P95MS, rep.P99MS)
+		fmt.Printf("  per-second %v\n", rep.PerSecond)
+	}
+	if rep.Committed == 0 {
+		fmt.Fprintln(os.Stderr, "ecload: no operation ever committed")
+		os.Exit(1)
+	}
+}
+
+// drive runs the load and assembles the report.
+func drive(addrs []string, duration time.Duration, conc, rate int, opTimeout time.Duration) cluster.LoadReport {
+	var (
+		committed atomic.Int64
+		errors    atomic.Int64
+		// A worker may start an op just before the deadline and finish it up
+		// to opTimeout later, so the timeline can outlive the nominal
+		// duration by that much.
+		buckets   = make([]int64, int((duration+opTimeout).Seconds())+2)
+		latencies = make([][]time.Duration, conc)
+	)
+	// Global pacing: one token per 1/rate second, shared by every worker.
+	// Closed loop (rate 0) runs without tokens.
+	var tokens chan struct{}
+	stop := make(chan struct{})
+	if rate > 0 {
+		tokens = make(chan struct{}, rate)
+		tick := time.NewTicker(time.Second / time.Duration(rate))
+		defer tick.Stop()
+		go func() {
+			for {
+				select {
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					default: // bucket full; shed the token
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	// Unique value prefix so reruns and restarts never collide in the log.
+	prefix := fmt.Sprintf("%d-%d", os.Getpid(), time.Now().UnixNano())
+	start := time.Now()
+	deadline := start.Add(duration)
+	time.AfterFunc(duration, func() { close(stop) })
+
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			addr := addrs[w%len(addrs)]
+			var c *cluster.Client
+			defer func() {
+				if c != nil {
+					c.Close()
+				}
+			}()
+			for seq := 0; time.Now().Before(deadline); seq++ {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-stop:
+						return
+					}
+				}
+				if c == nil {
+					var err error
+					if c, err = cluster.DialClient(addr, opTimeout); err != nil {
+						errors.Add(1)
+						sleepOrStop(stop, 50*time.Millisecond)
+						continue
+					}
+				}
+				t0 := time.Now()
+				resp, err := c.Do(cluster.Request{
+					Op:    "propose",
+					Value: fmt.Sprintf("%s-w%d-%d", prefix, w, seq),
+				}, opTimeout)
+				if err != nil || !resp.OK {
+					errors.Add(1)
+					c.Close()
+					c = nil
+					sleepOrStop(stop, 20*time.Millisecond)
+					continue
+				}
+				latencies[w] = append(latencies[w], time.Since(t0))
+				committed.Add(1)
+				if idx := int(time.Since(start).Seconds()); idx >= 0 && idx < len(buckets) {
+					atomic.AddInt64(&buckets[idx], 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	perSecond := make([]int, int(math.Ceil(wall.Seconds())))
+	if len(perSecond) > len(buckets) {
+		perSecond = perSecond[:len(buckets)]
+	}
+	for i := range perSecond {
+		perSecond[i] = int(buckets[i])
+	}
+	rep := cluster.LoadReport{
+		Addrs:      addrs,
+		Workers:    conc,
+		Rate:       rate,
+		DurationMS: wall.Milliseconds(),
+		Committed:  int(committed.Load()),
+		Errors:     int(errors.Load()),
+		PerSecond:  perSecond,
+	}
+	if wall > 0 {
+		rep.OpsPerSec = float64(rep.Committed) / wall.Seconds()
+	}
+	if len(all) > 0 {
+		rep.P50MS = ms(percentile(all, 0.50))
+		rep.P95MS = ms(percentile(all, 0.95))
+		rep.P99MS = ms(percentile(all, 0.99))
+	}
+	return rep
+}
+
+func sleepOrStop(stop <-chan struct{}, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-stop:
+	}
+}
+
+// percentile returns the p-quantile of sorted latencies (nearest rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

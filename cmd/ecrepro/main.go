@@ -32,6 +32,11 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines per experiment (1 = sequential); tables are identical for every value")
 	flag.Parse()
 
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "ecrepro: -parallel must be at least 1 (got %d)\n", *parallel)
+		flag.Usage()
+		os.Exit(2)
+	}
 	expt.SetParallelism(*parallel)
 	experiments := expt.Experiments()
 

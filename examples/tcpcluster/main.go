@@ -12,6 +12,9 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/consensus"
@@ -31,9 +34,21 @@ func main() {
 	faults := &tcpnet.Faults{Seed: 1, DropP: 0.03}
 	mesh, err := tcpnet.New(tcpnet.Config{N: n, Trace: col, Faults: faults})
 	if err != nil {
-		panic(err)
+		fmt.Fprintf(os.Stderr, "tcpcluster: %v\n", err)
+		os.Exit(1)
 	}
 	defer mesh.Stop()
+
+	// Ctrl-C tears the mesh down cleanly (sockets closed, writers unwound)
+	// instead of leaving the runtime to die mid-write.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "tcpcluster: %v, shutting down\n", s)
+		mesh.Stop()
+		os.Exit(1)
+	}()
 
 	fmt.Println("tcpcluster: real sockets, one per process, 3% frame loss injected")
 	for _, id := range dsys.Pids(n) {

@@ -142,7 +142,11 @@ func propose(p dsys.Proc, d fd.EventuallyConsistent, rb *rbcast.Module, v any, o
 	// model) the decision broadcast can be lost, and the relayers are gone
 	// once everyone here returns. The responder replies to any late
 	// instance message with the decision, making catch-up possible forever.
-	st.spawnResponder(p)
+	// Callers running many instances per process provide a shared responder
+	// instead (Options.NoResponder).
+	if !opt.NoResponder {
+		st.spawnResponder(p)
+	}
 	return *st.decided
 }
 
@@ -211,7 +215,7 @@ func (st *state) pump() bool {
 		return true
 	}
 	st.idlePolls++
-	if st.idlePolls >= 200 {
+	if st.idlePolls >= st.opt.ProbeAfter {
 		// A long-idle wait suggests lost messages (the model's links are
 		// reliable, but transports and partitions are not). Two repairs:
 		// probe the others so any decided process re-sends the decision,

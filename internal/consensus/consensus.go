@@ -89,6 +89,21 @@ type Options struct {
 	// replicated log whose replica joins an instance after its decide
 	// message was already R-delivered — use this to avoid blocking forever.
 	PreDecided func() (any, int, bool)
+	// ProbeAfter is the number of consecutive idle poll cycles a blocking
+	// wait tolerates before it broadcasts a catch-up probe and retransmits
+	// its last phase messages (default 200). A replica that knows it is
+	// replaying an already-decided instance — e.g. a restarted process
+	// rebuilding its log — sets this low so decided peers answer with the
+	// decision after one idle poll instead of after 200. Only package cec
+	// honours this field.
+	ProbeAfter int
+	// NoResponder suppresses the per-instance post-decision responder task.
+	// A caller that runs many instances on one process — the replicated log
+	// runs one per slot — must answer stragglers itself through a single
+	// shared task instead: one everlasting task per instance means every
+	// message arrival wakes every task ever decided, and throughput decays
+	// with uptime. Only package cec honours this field.
+	NoResponder bool
 }
 
 // RoundProbe records the latest round each process has entered; experiment
@@ -128,6 +143,9 @@ func (rp *RoundProbe) Max() int {
 func (o Options) WithDefaults() Options {
 	if o.Poll <= 0 {
 		o.Poll = time.Millisecond
+	}
+	if o.ProbeAfter <= 0 {
+		o.ProbeAfter = 200
 	}
 	return o
 }

@@ -20,7 +20,8 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -73,6 +74,13 @@ type Config struct {
 	// IdlePoll is how often an idle replica re-checks for work (default
 	// 2ms).
 	IdlePoll time.Duration
+	// SeqBase offsets the per-origin sequence counter: the first Submit
+	// gets Seq SeqBase+1. A process that can crash and restart (so the
+	// replica's counter restarts too) must pass a value unique to the
+	// incarnation — e.g. a wall-clock timestamp — or commands of the new
+	// incarnation would collide with its old ones, since (Origin, Seq)
+	// identifies a command.
+	SeqBase int
 }
 
 // Replica is one process's replicated-log engine.
@@ -82,13 +90,15 @@ type Replica struct {
 	det  fd.EventuallyConsistent
 	rb   *rbcast.Module
 
-	mu       sync.Mutex
-	pending  []Command
-	nextSeq  int
-	decided  map[string]consensus.Decide // instance name -> decision
-	applied  []AppliedEntry
-	slot     int    // next slot this replica will work on
-	kickKind string // KindKick, namespaced by the instance
+	mu          sync.Mutex
+	pending     []Command
+	nextSeq     int
+	decided     map[string]consensus.Decide // instance name -> decision
+	decidedHigh int                         // highest log slot seen decided
+	applied     []AppliedEntry
+	slot        int    // next slot this replica will work on
+	kickKind    string // KindKick, namespaced by the instance
+	instPrefix  string // instance-name prefix of log slots, for decidedHigh
 }
 
 // AppliedEntry is one applied log entry.
@@ -103,12 +113,14 @@ func StartReplica(p dsys.Proc, cfg Config) *Replica {
 		cfg.IdlePoll = 2 * time.Millisecond
 	}
 	r := &Replica{
-		cfg:      cfg,
-		self:     p.ID(),
-		det:      cfg.Detector,
-		decided:  make(map[string]consensus.Decide),
-		slot:     1,
-		kickKind: KindKick,
+		cfg:        cfg,
+		self:       p.ID(),
+		det:        cfg.Detector,
+		decided:    make(map[string]consensus.Decide),
+		nextSeq:    cfg.SeqBase,
+		slot:       1,
+		kickKind:   KindKick,
+		instPrefix: cfg.Consensus.Instance + "/log/",
 	}
 	if cfg.Consensus.Instance != "" {
 		r.kickKind += "/" + cfg.Consensus.Instance
@@ -122,12 +134,89 @@ func StartReplica(p dsys.Proc, cfg Config) *Replica {
 			r.mu.Lock()
 			if _, dup := r.decided[dec.Inst]; !dup {
 				r.decided[dec.Inst] = dec
+				if s := r.slotOf(dec.Inst); s > r.decidedHigh {
+					r.decidedHigh = s
+				}
 			}
 			r.mu.Unlock()
 		}
 	})
 	p.Spawn("core-log", r.logTask)
+	p.Spawn("core-responder", r.responderTask)
 	return r
+}
+
+// responderTask is the replica's single shared answering service for
+// consensus messages its logTask is not (or no longer) listening for. It
+// plays two roles:
+//
+//   - For slots already decided here it answers any late message with the
+//     decision, centralising what cec's per-instance responder would do —
+//     one everlasting task per slot would wake on every message arrival and
+//     make throughput decay with the log length (Options.NoResponder).
+//   - For slots more than one ahead of this replica's position it mirrors
+//     the reactive tasks of the paper's Fig. 4 (null estimates to
+//     coordinators, nacks to non-null propositions). Without that, a replica
+//     replaying its log after a restart would leave the frontier
+//     coordinator's "wait for every non-suspected process" rule hanging —
+//     the replica is alive and unsuspected but deaf to instances beyond its
+//     replay position — stalling the whole cluster for the catch-up's
+//     duration. (Exactly one ahead is excluded: the frontier coordinator
+//     announces slot k+1 while healthy peers still close out slot k, and
+//     those messages belong to the peers' own upcoming Propose calls.)
+func (r *Replica) responderTask(p dsys.Proc) {
+	match := dsys.MatchFunc(func(m *dsys.Message) bool {
+		if !strings.HasPrefix(m.Kind, "cec.") {
+			return false
+		}
+		env, ok := m.Payload.(consensus.Msg)
+		if !ok {
+			return false
+		}
+		s := r.slotOf(env.Inst)
+		if s == 0 {
+			return false
+		}
+		r.mu.Lock()
+		_, dec := r.decided[env.Inst]
+		ahead := s > r.slot+1
+		r.mu.Unlock()
+		return dec || ahead
+	})
+	for {
+		m, ok := p.Recv(match)
+		if !ok {
+			return
+		}
+		if m.From == p.ID() {
+			continue
+		}
+		env := m.Payload.(consensus.Msg)
+		r.mu.Lock()
+		dec, isDec := r.decided[env.Inst]
+		r.mu.Unlock()
+		switch {
+		case isDec:
+			// Never answer a KindDecided (another responder) — it would loop.
+			if m.Kind != cec.KindDecided {
+				p.Send(m.From, cec.KindDecided, consensus.Msg{Inst: env.Inst, Round: dec.Round, Est: dec.Value})
+			}
+		case m.Kind == cec.KindCoord:
+			// A coordinator announcement: answer with a null estimate so its
+			// Phase 2 can complete without us.
+			p.Send(m.From, cec.KindEst, consensus.Msg{Inst: env.Inst, Round: env.Round, Null: true})
+		case m.Kind == cec.KindEst:
+			// Someone believes we coordinate an instance we have not reached:
+			// a null proposition releases its Phase 3.
+			p.Send(m.From, cec.KindProp, consensus.Msg{Inst: env.Inst, Round: env.Round, Null: true})
+		case m.Kind == cec.KindProp:
+			// A non-null proposition: nack it (we did not adopt). The paper's
+			// majority-of-acks rule decides fine alongside our nack.
+			if !env.Null {
+				p.Send(m.From, cec.KindNack, consensus.Msg{Inst: env.Inst, Round: env.Round})
+			}
+		}
+	}
 }
 
 // Detector returns the replica's failure detector module.
@@ -173,7 +262,19 @@ func (r *Replica) AppliedValues() []any {
 }
 
 func (r *Replica) instance(slot int) string {
-	return fmt.Sprintf("%s/log/%d", r.cfg.Consensus.Instance, slot)
+	return r.instPrefix + strconv.Itoa(slot)
+}
+
+// slotOf inverts instance; it returns 0 for non-log instance names.
+func (r *Replica) slotOf(inst string) int {
+	if !strings.HasPrefix(inst, r.instPrefix) {
+		return 0
+	}
+	s, err := strconv.Atoi(inst[len(r.instPrefix):])
+	if err != nil {
+		return 0
+	}
+	return s
 }
 
 func (r *Replica) lookupDecided(slot int) (any, int, bool) {
@@ -191,6 +292,23 @@ func (r *Replica) logTask(p dsys.Proc) {
 	matchKick := dsys.MatchKind(r.kickKind)
 	for {
 		slot := r.slot
+
+		// Drain queued kicks first, even when this slot is ready to run.
+		// Kicks left in the mailbox are never consumed by anything else, and
+		// a buffered message that no receiver takes pins the mailbox head —
+		// every later receive scans past it, so a busy replica would slow
+		// down in proportion to how long it has been busy.
+		for {
+			m, ok := p.RecvTimeout(matchKick, 0)
+			if !ok {
+				break
+			}
+			k := m.Payload.(Kick)
+			if k.Slot > kickHigh {
+				kickHigh = k.Slot
+				kickCmd = k.Cmd
+			}
+		}
 
 		// Wait for a reason to run this slot: a pending command of our own,
 		// a kick from another replica, or an already-known decision.
@@ -240,10 +358,38 @@ func (r *Replica) logTask(p dsys.Proc) {
 		opt := r.cfg.Consensus
 		opt.Instance = r.instance(slot)
 		opt.PreDecided = func() (any, int, bool) { return r.lookupDecided(slot) }
+		r.mu.Lock()
+		behind := kickHigh > slot || r.decidedHigh > slot
+		r.mu.Unlock()
+		if behind {
+			// This slot is already decided somewhere (a later slot exists):
+			// probe for the decision after one short idle poll rather than
+			// sitting out the full idle threshold per slot. This is what
+			// makes a restarted replica's log replay take a millisecond or
+			// two per slot, not hundreds of them — and what lets it outrun a
+			// frontier that keeps deciding new slots while it replays.
+			opt.ProbeAfter = 1
+			if opt.Poll <= 0 || opt.Poll > 500*time.Microsecond {
+				opt.Poll = 500 * time.Microsecond
+			}
+		}
+		// The replica's shared responderTask answers stragglers for every
+		// decided slot; per-instance responders would accumulate one task per
+		// slot forever.
+		opt.NoResponder = true
 		res := cec.Propose(p, r.det, r.rb, prop, opt)
 
 		cmd, isCmd := res.Value.(Command)
 		r.mu.Lock()
+		// Record the decision (Propose may have learned it from a probe
+		// answer rather than the decide broadcast) so the responderTask can
+		// serve this slot and decidedHigh reflects our own frontier.
+		if _, dup := r.decided[opt.Instance]; !dup {
+			r.decided[opt.Instance] = consensus.Decide{Inst: opt.Instance, Round: res.Round, Value: res.Value}
+		}
+		if slot > r.decidedHigh {
+			r.decidedHigh = slot
+		}
 		if isCmd {
 			if _, isNoop := cmd.Payload.(noop); !isNoop {
 				r.applied = append(r.applied, AppliedEntry{Slot: slot, Cmd: cmd})

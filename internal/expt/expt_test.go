@@ -40,6 +40,16 @@ func TestE12(t *testing.T) { runExp(t, "E12", E12DetectorQoS) }
 func TestE13(t *testing.T) { runExp(t, "E13", E13MeshChaos) }
 func TestE14(t *testing.T) { runExp(t, "E14", E14ScalingSweep) }
 
+// E16 spawns real OS processes (ecnode/ecload) and injects SIGKILLs; in
+// -short mode it is skipped like the cross-process tests of
+// internal/cluster.
+func TestE16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped in -short")
+	}
+	runExp(t, "E16", E16ClusterKillRestart)
+}
+
 // TestTableNonASCIIAlignment is the regression for pad measuring width in
 // bytes: multi-byte cells like "◇P" (3-byte runes) made len(s) overshoot the
 // rendered width, so every column after a non-ASCII cell drifted out of

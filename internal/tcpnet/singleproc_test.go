@@ -1,0 +1,184 @@
+package tcpnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd/ring"
+	"repro/internal/trace"
+)
+
+// TestSingleProcessMeshesInteroperate is the regression for the hardcoded
+// "127.0.0.1:0" bind: two meshes with disjoint local ids (Self=1 and Self=2)
+// — stand-ins for two OS processes — exchange traffic through explicitly
+// configured addresses. Before single-process mode a Mesh always owned all N
+// listeners itself, making cross-process operation impossible by
+// construction.
+func TestSingleProcessMeshesInteroperate(t *testing.T) {
+	// Mesh A first, with p2's address unknown; it is supplied afterwards via
+	// SetPeerAddr, exercising the late-resolution path a real deployment
+	// hits when nodes start in arbitrary order.
+	a, err := New(Config{N: 2, Self: 1})
+	if err != nil {
+		t.Fatalf("mesh A: %v", err)
+	}
+	defer a.Stop()
+	b, err := New(Config{N: 2, Self: 2, Peers: map[dsys.ProcessID]string{1: a.Addr(1)}})
+	if err != nil {
+		t.Fatalf("mesh B: %v", err)
+	}
+	defer b.Stop()
+	if err := a.SetPeerAddr(2, b.Addr(2)); err != nil {
+		t.Fatalf("SetPeerAddr: %v", err)
+	}
+
+	got := make(chan string, 1)
+	b.Spawn(2, "echo", func(p dsys.Proc) {
+		m, _ := p.Recv(dsys.MatchKind("ping"))
+		p.Send(m.From, "pong", "hello "+m.Payload.(string))
+	})
+	a.Spawn(1, "ask", func(p dsys.Proc) {
+		// The ping retries until the reply lands: frame one can be consumed
+		// by a dial race (retry-once semantics), and fair-lossy links only
+		// promise that persistent resends get through.
+		for {
+			p.Send(2, "ping", "world")
+			if m, ok := p.RecvTimeout(dsys.MatchKind("pong"), 100*time.Millisecond); ok {
+				got <- m.Payload.(string)
+				return
+			}
+		}
+	})
+	select {
+	case v := <-got:
+		if v != "hello world" {
+			t.Fatalf("round trip returned %q, want %q", v, "hello world")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cross-mesh round trip never completed")
+	}
+}
+
+// TestSingleProcessRingDetector runs the full ring ◇C detector across three
+// single-id meshes: each "node" must converge on leader p1 with an empty
+// suspect list, proving the whole detector stack works across mesh
+// boundaries, not just raw frames.
+func TestSingleProcessRingDetector(t *testing.T) {
+	const n = 3
+	meshes := make([]*Mesh, n)
+	addrs := make(map[dsys.ProcessID]string, n)
+	for i := 0; i < n; i++ {
+		self := dsys.ProcessID(i + 1)
+		m, err := New(Config{N: n, Self: self})
+		if err != nil {
+			t.Fatalf("mesh for %v: %v", self, err)
+		}
+		defer m.Stop()
+		meshes[i] = m
+		addrs[self] = m.Addr(self)
+	}
+	for i, m := range meshes {
+		for id, addr := range addrs {
+			if id != dsys.ProcessID(i+1) {
+				if err := m.SetPeerAddr(id, addr); err != nil {
+					t.Fatalf("SetPeerAddr: %v", err)
+				}
+			}
+		}
+	}
+
+	dets := make([]*ring.Detector, n)
+	started := make(chan int, n)
+	for i, m := range meshes {
+		i := i
+		m.Spawn(dsys.ProcessID(i+1), "fd", func(p dsys.Proc) {
+			dets[i] = ring.Start(p, ring.Options{Period: 5 * time.Millisecond})
+			started <- i
+			p.Sleep(time.Hour)
+		})
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		converged := true
+		for _, d := range dets {
+			if d.Trusted() != 1 || d.Suspected().Len() != 0 {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var state []string
+	for i, d := range dets {
+		state = append(state, dsys.ProcessID(i+1).String()+": trusts "+d.Trusted().String()+" suspects "+d.Suspected().String())
+	}
+	t.Fatalf("ring never converged across single-process meshes:\n%s", strings.Join(state, "\n"))
+}
+
+// TestSingleProcessSpawnGuard: a single-process mesh must refuse to host a
+// remote process's tasks — spawning one would silently run it on the wrong
+// node.
+func TestSingleProcessSpawnGuard(t *testing.T) {
+	m, err := New(Config{N: 3, Self: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spawn of a remote process id did not panic")
+		}
+	}()
+	m.Spawn(1, "bad", func(p dsys.Proc) {})
+}
+
+// TestSingleProcessSelfValidation: out-of-range Self is a config error, not
+// a panic.
+func TestSingleProcessSelfValidation(t *testing.T) {
+	if _, err := New(Config{N: 3, Self: 4}); err == nil {
+		t.Fatal("Self out of range accepted")
+	}
+	if _, err := New(Config{N: 3, Self: -1}); err == nil {
+		t.Fatal("negative Self accepted")
+	}
+}
+
+// TestAdvertiseOverridesAddr: the advertised address is what Addr reports
+// (and therefore what launch tooling publishes), while the listener itself
+// stays on the bound address.
+func TestAdvertiseOverridesAddr(t *testing.T) {
+	m, err := New(Config{N: 2, Self: 1, Advertise: "198.51.100.7:9999"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	if got := m.Addr(1); got != "198.51.100.7:9999" {
+		t.Fatalf("Addr(1) = %q, want advertised address", got)
+	}
+}
+
+// TestAllInOneModeUnchanged: default construction still binds one ephemeral
+// loopback listener per process and carries traffic — the historical mode
+// the experiments rely on.
+func TestAllInOneModeUnchanged(t *testing.T) {
+	col := &trace.Collector{}
+	m, err := New(Config{N: 3, Trace: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	for _, id := range dsys.Pids(3) {
+		if !strings.HasPrefix(m.Addr(id), "127.0.0.1:") {
+			t.Fatalf("Addr(%v) = %q, want ephemeral loopback", id, m.Addr(id))
+		}
+	}
+}

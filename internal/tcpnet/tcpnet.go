@@ -1,9 +1,17 @@
 // Package tcpnet runs a live cluster over real TCP connections: every
-// process gets a loopback listener, peers dial a full mesh lazily, and
-// messages travel length-prefixed binary frames (package wire) through the
-// operating system's network stack. It is the most "production-shaped"
-// substrate in the repository — the detectors and consensus algorithms run on
-// it unchanged, with real sockets providing the asynchrony.
+// process gets a listener, peers dial a full mesh lazily, and messages
+// travel length-prefixed binary frames (package wire) through the operating
+// system's network stack. It is the most "production-shaped" substrate in
+// the repository — the detectors and consensus algorithms run on it
+// unchanged, with real sockets providing the asynchrony.
+//
+// A mesh runs in one of two modes. All-in-one (the default): all N
+// processes live in this OS process, each on its own ephemeral loopback
+// listener — what the tests and experiments use. Single-process
+// (Config.Self set): this OS process hosts exactly one process of the
+// cluster, binds Config.Bind, and reaches the other N−1 processes at
+// configured addresses (Config.Peers / SetPeerAddr) — what cmd/ecnode uses
+// to run one cluster across real OS processes and machines.
 //
 // # Delivery semantics
 //
@@ -109,6 +117,28 @@ const (
 type Config struct {
 	// N is the number of processes.
 	N int
+	// Self, when non-zero, puts the mesh in single-process mode: this OS
+	// process hosts only process Self. One listener is bound (at Bind) and
+	// the other N−1 processes are assumed to live in other OS processes,
+	// dialed at the addresses in Peers. Zero (the default) keeps the
+	// historical all-in-one mode: every process of the mesh lives in this
+	// OS process on its own loopback listener — which is what the
+	// experiments and tests use.
+	Self dsys.ProcessID
+	// Bind is the local listen address (default "127.0.0.1:0"). In
+	// all-in-one mode every process binds it, so the port must stay
+	// ephemeral there; in single-process mode it is typically the fixed
+	// host:port the other processes have in their Peers maps.
+	Bind string
+	// Advertise overrides the address Addr reports for a locally bound
+	// process (default: the listener's actual address). Useful when peers
+	// reach this process through an address other than the bound one.
+	Advertise string
+	// Peers maps remote process ids to their dial addresses
+	// (single-process mode only). An id may be omitted and supplied later
+	// via SetPeerAddr; until then frames to it wait in its bounded
+	// outbound queue while the writer's dial fails and backs off.
+	Peers map[dsys.ProcessID]string
 	// Trace receives message, crash and transport-link events. Optional.
 	Trace *trace.Collector
 	// Log receives task debug output. Optional.
@@ -170,6 +200,12 @@ func New(cfg Config) (*Mesh, error) {
 	if cfg.N < 1 {
 		return nil, fmt.Errorf("tcpnet: N must be at least 1")
 	}
+	if cfg.Self != 0 && (cfg.Self < 1 || int(cfg.Self) > cfg.N) {
+		return nil, fmt.Errorf("tcpnet: Self %v out of range 1..%d", cfg.Self, cfg.N)
+	}
+	if cfg.Bind == "" {
+		cfg.Bind = "127.0.0.1:0"
+	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 2 * time.Second
 	}
@@ -200,16 +236,28 @@ func New(cfg Config) (*Mesh, error) {
 		Log:       cfg.Log,
 		Transport: m.send,
 	})
+	m.listeners = make([]net.Listener, cfg.N)
+	m.addrs = make([]string, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		id := dsys.ProcessID(i + 1)
+		if cfg.Self != 0 && id != cfg.Self {
+			// Remote process: its address comes from the config (or later
+			// from SetPeerAddr); nothing to bind here.
+			m.addrs[i] = cfg.Peers[id]
+			continue
+		}
+		ln, err := net.Listen("tcp", cfg.Bind)
 		if err != nil {
 			m.Stop()
-			return nil, fmt.Errorf("tcpnet: listen for p%d: %w", i+1, err)
+			return nil, fmt.Errorf("tcpnet: listen %q for p%d: %w", cfg.Bind, i+1, err)
 		}
-		m.listeners = append(m.listeners, ln)
-		m.addrs = append(m.addrs, ln.Addr().String())
+		m.listeners[i] = ln
+		m.addrs[i] = ln.Addr().String()
+		if cfg.Self != 0 && cfg.Advertise != "" {
+			m.addrs[i] = cfg.Advertise
+		}
 		m.wg.Add(1)
-		go m.acceptLoop(dsys.ProcessID(i+1), ln)
+		go m.acceptLoop(id, ln)
 	}
 	return m, nil
 }
@@ -235,6 +283,25 @@ func (m *Mesh) setAddr(id dsys.ProcessID, addr string) {
 	m.mu.Unlock()
 }
 
+// SetPeerAddr supplies (or rewrites) the dial address of a remote process in
+// single-process mode — for peers whose address was unknown when the mesh
+// was built. Writers pick the new address up on their next dial attempt, so
+// frames queued while the peer was unreachable flow as soon as the address
+// resolves.
+func (m *Mesh) SetPeerAddr(id dsys.ProcessID, addr string) error {
+	if id < 1 || int(id) > m.cfg.N {
+		return fmt.Errorf("tcpnet: SetPeerAddr: process id %v out of range 1..%d", id, m.cfg.N)
+	}
+	if m.cfg.Self == 0 {
+		return fmt.Errorf("tcpnet: SetPeerAddr is only meaningful in single-process mode")
+	}
+	if id == m.cfg.Self {
+		return fmt.Errorf("tcpnet: SetPeerAddr: %v is the local process", id)
+	}
+	m.setAddr(id, addr)
+	return nil
+}
+
 // WireStats reports cumulative outbound transport volume — frames written and
 // bytes put on the wire by every peer writer since the mesh started. E15 uses
 // it to compare per-frame encoding cost across codecs.
@@ -242,8 +309,12 @@ func (m *Mesh) WireStats() (frames, bytes int64) {
 	return m.wireFrames.Load(), m.wireBytes.Load()
 }
 
-// Spawn starts a task of process id.
+// Spawn starts a task of process id. In single-process mode only the local
+// process (Config.Self) can host tasks.
 func (m *Mesh) Spawn(id dsys.ProcessID, name string, fn dsys.TaskFunc) {
+	if m.cfg.Self != 0 && id != m.cfg.Self {
+		panic(fmt.Sprintf("tcpnet: single-process mesh hosts only %v; cannot spawn tasks of %v", m.cfg.Self, id))
+	}
 	m.cluster.Spawn(id, name, fn)
 }
 
@@ -266,7 +337,9 @@ func (m *Mesh) Crash(id dsys.ProcessID) {
 		}
 	}
 	m.mu.Unlock()
-	ln.Close()
+	if ln != nil {
+		ln.Close()
+	}
 	if pr != nil {
 		pr.close()
 	}
@@ -296,7 +369,9 @@ func (m *Mesh) Stop() {
 	}
 	m.mu.Unlock()
 	for _, ln := range lns {
-		ln.Close()
+		if ln != nil {
+			ln.Close()
+		}
 	}
 	for _, pr := range prs {
 		pr.close()
