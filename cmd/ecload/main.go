@@ -101,7 +101,7 @@ func drive(addrs []string, duration time.Duration, conc, rate int, opTimeout tim
 	stop := make(chan struct{})
 	if rate > 0 {
 		tokens = make(chan struct{}, rate)
-		tick := time.NewTicker(time.Second / time.Duration(rate))
+		tick := time.NewTicker(paceInterval(rate))
 		defer tick.Stop()
 		go func() {
 			for {
@@ -217,8 +217,24 @@ func sleepOrStop(stop <-chan struct{}, d time.Duration) {
 	}
 }
 
-// percentile returns the p-quantile of sorted latencies (nearest rank).
+// paceInterval converts a total ops/s cap into the token-ticker interval.
+// Rates above 1e9 would truncate to a zero interval — which panics
+// time.NewTicker — so the interval is clamped to 1ns (effectively unpaced;
+// no hardware sustains sub-nanosecond issue anyway).
+func paceInterval(rate int) time.Duration {
+	iv := time.Second / time.Duration(rate)
+	if iv <= 0 {
+		iv = time.Nanosecond
+	}
+	return iv
+}
+
+// percentile returns the p-quantile of sorted latencies (nearest rank); 0
+// when there are no samples.
 func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
 	idx := int(p * float64(len(sorted)))
 	if idx >= len(sorted) {
 		idx = len(sorted) - 1

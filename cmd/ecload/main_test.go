@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPaceIntervalClampsExtremeRates(t *testing.T) {
+	cases := []struct {
+		rate int
+		want time.Duration
+	}{
+		{1, time.Second},
+		{100, 10 * time.Millisecond},
+		{1e9, time.Nanosecond},
+		{2e9, time.Nanosecond},       // 1s/rate truncates to 0: must clamp, not panic
+		{int(3e18), time.Nanosecond}, // far beyond any duration resolution
+	}
+	for _, c := range cases {
+		if got := paceInterval(c.rate); got != c.want {
+			t.Errorf("paceInterval(%d) = %v, want %v", c.rate, got, c.want)
+		}
+		// The clamped interval must be accepted by time.NewTicker (a zero
+		// interval panics — the original bug).
+		tick := time.NewTicker(paceInterval(c.rate))
+		tick.Stop()
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+	one := []time.Duration{5 * time.Millisecond}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := percentile(one, p); got != 5*time.Millisecond {
+			t.Errorf("percentile(single, %v) = %v, want the sample", p, got)
+		}
+	}
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(sorted, 0.5); got != 6 {
+		t.Errorf("p50 of 1..10 = %v, want 6 (nearest rank)", got)
+	}
+	if got := percentile(sorted, 0.99); got != 10 {
+		t.Errorf("p99 of 1..10 = %v, want 10", got)
+	}
+	if got := percentile(sorted, 1); got != 10 {
+		t.Errorf("p100 must clamp to the last sample, got %v", got)
+	}
+}

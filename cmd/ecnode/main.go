@@ -87,7 +87,7 @@ type node struct {
 	mu      sync.Mutex
 	det     fd.EventuallyConsistent
 	rep     *core.Replica
-	waiters map[int]chan int // pending proposals: seq -> committed slot
+	waiters map[int64]chan int // pending proposals: seq -> committed slot
 }
 
 func run(cfg cluster.NodeConfig) error {
@@ -107,7 +107,7 @@ func run(cfg cluster.NodeConfig) error {
 	}
 	defer ln.Close()
 
-	nd := &node{cfg: cfg, start: time.Now(), waiters: make(map[int]chan int)}
+	nd := &node{cfg: cfg, start: time.Now(), waiters: make(map[int64]chan int)}
 	ready := make(chan struct{})
 	mesh.Spawn(cfg.Self(), "node", func(p dsys.Proc) {
 		period := time.Duration(cfg.PeriodMS) * time.Millisecond
@@ -125,8 +125,17 @@ func run(cfg cluster.NodeConfig) error {
 				Apply:     nd.onApply,
 				// A restarted node must not reuse the (Origin, Seq) identities
 				// of its previous incarnation; a nanosecond timestamp keys
-				// each incarnation's sequence space apart.
-				SeqBase: int(time.Now().UnixNano()),
+				// each incarnation's sequence space apart. SeqBase and Seq
+				// are int64 so the timestamp survives 32-bit platforms
+				// untruncated (truncation would recreate the collision). The
+				// same stamp keys the reliable-broadcast life apart: without
+				// it, peers dedup the new life's decision broadcasts against
+				// the old life's sequence numbers and drop them all, so every
+				// decision a restarted coordinator makes reaches followers
+				// only via a probe timeout — a persistent post-restart
+				// throughput collapse (E16's leader-kill phase).
+				SeqBase:     time.Now().UnixNano(),
+				Incarnation: time.Now().UnixNano(),
 			})
 		}
 		nd.mu.Lock()

@@ -64,6 +64,11 @@ func main() {
 		m := &lockMachine{id: id, holder: map[string]string{}}
 		machines[id] = m
 		k.Spawn(id, "lockd", func(p dsys.Proc) {
+			// SeqBase and Incarnation are left zero: these simulated replicas
+			// never outlive the kernel, so one sequence space and one
+			// broadcast life per process is correct. A replica in a process
+			// that can crash and restart (cmd/ecnode) must set both to a
+			// per-incarnation value — see core.Config.
 			replicas[id] = core.StartReplica(p, core.Config{Apply: m.apply})
 		})
 	}

@@ -39,6 +39,11 @@ func main() {
 		id := id
 		stores[id] = map[string]int{}
 		k.Spawn(id, "kv", func(p dsys.Proc) {
+			// No SeqBase/Incarnation: a simulated replica has exactly one
+			// life, even across the in-kernel crash below — the crash ends
+			// the process for good rather than restarting it. Restartable
+			// embeddings (cmd/ecnode) must stamp both per incarnation; see
+			// core.Config.
 			replicas[id] = core.StartReplica(p, core.Config{
 				Apply: func(slot int, cmd core.Command) {
 					c := cmd.Payload.(setCmd)

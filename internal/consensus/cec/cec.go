@@ -88,7 +88,8 @@ type state struct {
 	props      map[int]map[dsys.ProcessID]consensus.Msg
 	acks       map[int]map[dsys.ProcessID]bool
 	nacks      map[int]map[dsys.ProcessID]bool
-	propEstOf  map[int]any // the non-null proposition this process sent per round
+	propEstOf  map[int]any            // the non-null proposition this process sent per round
+	ackedOf    map[int]dsys.ProcessID // whose proposition we acknowledged per round
 	donePhase3 bool
 	idlePolls  int    // consecutive empty pump cycles, for catch-up probing
 	resend     func() // re-sends the current phase's messages on long idle
@@ -127,6 +128,7 @@ func propose(p dsys.Proc, d fd.EventuallyConsistent, rb *rbcast.Module, v any, o
 		acks:      make(map[int]map[dsys.ProcessID]bool),
 		nacks:     make(map[int]map[dsys.ProcessID]bool),
 		propEstOf: make(map[int]any),
+		ackedOf:   make(map[int]dsys.ProcessID),
 		matchAll:  consensus.Match("cec.", opt.Instance),
 		decidedCh: make(chan consensus.Result, 1),
 	}
@@ -211,7 +213,14 @@ func (st *state) checkDecided() *consensus.Result {
 func (st *state) pump() bool {
 	if m, ok := st.p.RecvTimeout(st.matchAll, st.opt.Poll); ok {
 		st.dispatch(m)
-		st.idlePolls = 0
+		if m.Kind != KindProbe {
+			// Probes are not progress — they mean a peer is stuck. If they
+			// reset the idle counter, processes probing each other at the
+			// same period suppress one another's retransmissions forever and
+			// an instance that lost a phase message (e.g. across a peer's
+			// restart) never recovers.
+			st.idlePolls = 0
+		}
 		return true
 	}
 	st.idlePolls++
@@ -292,6 +301,14 @@ func (st *state) dispatch(m *dsys.Message) {
 			st.props[r][m.From] = env
 		}
 		if !env.Null && (r < st.r || (r == st.r && st.donePhase3)) {
+			if st.ackedOf[r] == m.From {
+				// A retransmission of the very proposition we adopted: our
+				// ack may have been the lost message, so repeat it. Nacking
+				// here would contradict the earlier ack and turn a
+				// recoverable loss into a failed round.
+				st.send(m.From, KindAck, consensus.Msg{Round: r})
+				return
+			}
 			// Fig. 4, second task: nack a late coordinator's non-null
 			// proposition for the current or a previous round.
 			st.send(m.From, KindNack, consensus.Msg{Round: r})
@@ -376,7 +393,17 @@ func (st *state) runRound() {
 			propMsg = consensus.Msg{Round: r, Null: true}
 		}
 		st.sendAll(KindProp, propMsg, true)
-		st.resend = func() { st.sendAll(KindProp, propMsg, true) }
+		annMsg := consensus.Msg{Round: r}
+		st.resend = func() {
+			// Re-announce before re-proposing: a participant that missed the
+			// Phase 0 announcement (sent across its crash/restart window, say)
+			// is parked in Phase 0 and cannot act on a bare proposition — it
+			// would never answer, and the "every non-suspected process
+			// answered" wait rule would hang the instance on it. The
+			// announcement is idempotent at participants that did see it.
+			st.sendAll(KindCoord, annMsg, false)
+			st.sendAll(KindProp, propMsg, true)
+		}
 	}
 
 	// ---------------- Phase 3: wait for a proposition --------------------
@@ -400,6 +427,7 @@ func (st *state) runRound() {
 			// coordinator other than our own.
 			st.estimate = env.Est
 			st.ts = r
+			st.ackedOf[r] = from
 			st.send(from, KindAck, consensus.Msg{Round: r})
 			break
 		}

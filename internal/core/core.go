@@ -33,16 +33,24 @@ import (
 	"repro/internal/rbcast"
 )
 
-// KindKick is the message kind of slot announcements (suffixed with the
-// instance namespace when one is configured).
-const KindKick = "core.kick"
+// Message kinds (each suffixed with the instance namespace when one is
+// configured).
+const (
+	// KindKick is the message kind of slot announcements.
+	KindKick = "core.kick"
+	// KindFetch asks a peer for its decided log range (state transfer).
+	KindFetch = "core.fetch"
+	// KindState answers a KindFetch with one chunk of decided entries.
+	KindState = "core.state"
+)
 
 // Command is one entry ordered by the log. Origin and Seq identify it
 // uniquely (Seq is a per-origin counter), so Commands are comparable and a
-// command is applied exactly once.
+// command is applied exactly once. Seq is 64-bit so wall-clock-derived
+// SeqBase values survive 32-bit platforms untruncated.
 type Command struct {
 	Origin  dsys.ProcessID
-	Seq     int
+	Seq     int64
 	Payload any
 }
 
@@ -55,6 +63,29 @@ type noop struct{}
 type Kick struct {
 	Slot int
 	Cmd  Command
+}
+
+// Fetch is the payload of a state-transfer request: "send me your decided
+// entries starting at slot From, at most Limit of them".
+type Fetch struct {
+	From  int
+	Limit int
+}
+
+// StateEntry is one decided log slot inside a State chunk.
+type StateEntry struct {
+	Slot  int
+	Round int
+	Cmd   Command
+}
+
+// State is one chunk of a state-transfer answer: the donor's contiguous
+// decided entries from slot From, plus High, the donor's decided frontier —
+// the requester keeps fetching until it has everything below High.
+type State struct {
+	From    int
+	High    int
+	Entries []StateEntry
 }
 
 // Config configures a Replica. The zero value is usable.
@@ -80,7 +111,28 @@ type Config struct {
 	// incarnation — e.g. a wall-clock timestamp — or commands of the new
 	// incarnation would collide with its old ones, since (Origin, Seq)
 	// identifies a command.
-	SeqBase int
+	SeqBase int64
+	// Incarnation stamps this replica's reliable-broadcast life (see
+	// rbcast.StartNamespaceInc). Like SeqBase, a process that can crash and
+	// restart must pass a per-incarnation value — e.g. a wall-clock
+	// timestamp — or the new life's decision broadcasts are deduplicated
+	// against the old one's at every peer and silently dropped, leaving
+	// followers to learn each decision only through probe timeouts. 0 uses
+	// the process clock, which is fine wherever that clock survives
+	// restarts (the simulator's virtual time).
+	Incarnation int64
+	// TransferChunk caps how many decided entries one State message
+	// carries (default 256). A donor also clamps requested limits to
+	// maxTransferChunk, so a hostile Fetch cannot make it build an
+	// arbitrarily large reply.
+	TransferChunk int
+	// TransferTimeout bounds how long a state-transfer request waits for
+	// one chunk before trying the next donor (default 250ms).
+	TransferTimeout time.Duration
+	// NoStateTransfer disables the batch catch-up path; a behind replica
+	// then replays missed slots one consensus probe at a time (the
+	// pre-transfer behaviour; useful for tests and ablations).
+	NoStateTransfer bool
 }
 
 // Replica is one process's replicated-log engine.
@@ -90,16 +142,44 @@ type Replica struct {
 	det  fd.EventuallyConsistent
 	rb   *rbcast.Module
 
-	mu          sync.Mutex
-	pending     []Command
-	nextSeq     int
-	decided     map[string]consensus.Decide // instance name -> decision
-	decidedHigh int                         // highest log slot seen decided
-	applied     []AppliedEntry
-	slot        int    // next slot this replica will work on
-	kickKind    string // KindKick, namespaced by the instance
-	instPrefix  string // instance-name prefix of log slots, for decidedHigh
+	mu            sync.Mutex
+	pending       []Command
+	nextSeq       int64
+	decided       map[string]consensus.Decide // instance name -> decision
+	decidedHigh   int                         // highest log slot seen decided
+	applied       []AppliedEntry
+	appliedSeen   map[cmdKey]bool // (Origin, Seq) already applied
+	slot          int             // next slot this replica will work on
+	transferStall int             // frontier at the last failed state transfer
+	kickKind      string          // KindKick, namespaced by the instance
+	fetchKind     string          // KindFetch, namespaced by the instance
+	stateKind     string          // KindState, namespaced by the instance
+	instPrefix    string          // instance-name prefix of log slots, for decidedHigh
 }
+
+// cmdKey is the identity a command is deduplicated by (see Command).
+type cmdKey struct {
+	origin dsys.ProcessID
+	seq    int64
+}
+
+// maxTransferChunk is the donor-side cap on entries per State reply.
+const maxTransferChunk = 4096
+
+// deferLag is how many slots behind the decided frontier a replica may be
+// while still accepting leadership. Below the threshold it is at most a
+// frontier-race behind (mirroring the responder's one-slot grace); at or
+// beyond it the replica defers coordination until its replay completes.
+const deferLag = 3
+
+// transferLag is how many slots behind the apparent decided frontier a
+// replica must be before it engages batch state transfer. A transfer is a
+// blocking network round trip in the log hot path — and the frontier estimate
+// includes kick announcements, which under pipelined load routinely run a
+// slot or two ahead of a perfectly healthy replica — so small gaps stay on
+// the cheap probe path and only a genuine straggler (restart, partition)
+// pays for a fetch.
+const transferLag = 8
 
 // AppliedEntry is one applied log entry.
 type AppliedEntry struct {
@@ -112,23 +192,45 @@ func StartReplica(p dsys.Proc, cfg Config) *Replica {
 	if cfg.IdlePoll <= 0 {
 		cfg.IdlePoll = 2 * time.Millisecond
 	}
+	if cfg.TransferChunk <= 0 || cfg.TransferChunk > maxTransferChunk {
+		cfg.TransferChunk = 256
+	}
+	if cfg.TransferTimeout <= 0 {
+		cfg.TransferTimeout = 250 * time.Millisecond
+	}
 	r := &Replica{
-		cfg:        cfg,
-		self:       p.ID(),
-		det:        cfg.Detector,
-		decided:    make(map[string]consensus.Decide),
-		nextSeq:    cfg.SeqBase,
-		slot:       1,
-		kickKind:   KindKick,
-		instPrefix: cfg.Consensus.Instance + "/log/",
+		cfg:         cfg,
+		self:        p.ID(),
+		det:         cfg.Detector,
+		decided:     make(map[string]consensus.Decide),
+		appliedSeen: make(map[cmdKey]bool),
+		nextSeq:     cfg.SeqBase,
+		slot:        1,
+		kickKind:    KindKick,
+		fetchKind:   KindFetch,
+		stateKind:   KindState,
+		instPrefix:  cfg.Consensus.Instance + "/log/",
 	}
 	if cfg.Consensus.Instance != "" {
-		r.kickKind += "/" + cfg.Consensus.Instance
+		suffix := "/" + cfg.Consensus.Instance
+		r.kickKind += suffix
+		r.fetchKind += suffix
+		r.stateKind += suffix
 	}
 	if r.det == nil {
 		r.det = ring.Start(p, cfg.Ring)
 	}
-	r.rb = rbcast.StartNamespace(p, cfg.Consensus.Instance)
+	// Caught-up leadership: if the detector supports self-deferral, gate
+	// this replica's leadership on being (near) the decided frontier, so a
+	// restarted replica is not re-trusted — parking consensus coordination
+	// on a deaf process — before its replay completes. (Detectors without
+	// the hook, e.g. ec.FromPerfect over a plain heartbeat, keep the old
+	// behaviour; the shared responderTask still answers for the replaying
+	// replica.)
+	if ld, ok := r.det.(fd.LeadershipDeferrer); ok {
+		ld.SetReadiness(r.caughtUp)
+	}
+	r.rb = rbcast.StartNamespaceInc(p, cfg.Consensus.Instance, cfg.Incarnation)
 	r.rb.OnDeliver(func(_ dsys.Proc, _ dsys.ProcessID, payload any) {
 		if dec, ok := payload.(consensus.Decide); ok {
 			r.mu.Lock()
@@ -143,7 +245,17 @@ func StartReplica(p dsys.Proc, cfg Config) *Replica {
 	})
 	p.Spawn("core-log", r.logTask)
 	p.Spawn("core-responder", r.responderTask)
+	p.Spawn("core-state", r.stateServerTask)
 	return r
+}
+
+// caughtUp reports whether this replica is close enough to the decided
+// frontier to coordinate consensus; it is the readiness predicate handed to
+// the detector's leadership-deferral hook.
+func (r *Replica) caughtUp() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.decidedHigh-r.slot < deferLag
 }
 
 // responderTask is the replica's single shared answering service for
@@ -219,6 +331,142 @@ func (r *Replica) responderTask(p dsys.Proc) {
 	}
 }
 
+// stateServerTask answers state-transfer requests: for each Fetch it sends
+// back one State chunk holding the contiguous decided prefix starting at the
+// requested slot (stopping at the first gap, a fast-forward no-op, or the
+// chunk limit) plus this replica's decided frontier. Serving is read-only
+// and independent of the logTask's position, so even a replica that is
+// itself replaying can donate the prefix it already has.
+func (r *Replica) stateServerTask(p dsys.Proc) {
+	match := dsys.MatchKind(r.fetchKind)
+	for {
+		m, ok := p.Recv(match)
+		if !ok {
+			return
+		}
+		if m.From == p.ID() {
+			continue
+		}
+		req, ok := m.Payload.(Fetch)
+		if !ok {
+			continue
+		}
+		limit := req.Limit
+		if limit <= 0 || limit > maxTransferChunk {
+			limit = maxTransferChunk
+		}
+		resp := State{From: req.From}
+		r.mu.Lock()
+		resp.High = r.decidedHigh
+		for s := req.From; s > 0 && s <= r.decidedHigh && len(resp.Entries) < limit; s++ {
+			dec, ok := r.decided[r.instance(s)]
+			if !ok {
+				break
+			}
+			cmd, isCmd := dec.Value.(Command)
+			if !isCmd {
+				break
+			}
+			resp.Entries = append(resp.Entries, StateEntry{Slot: s, Round: dec.Round, Cmd: cmd})
+		}
+		r.mu.Unlock()
+		p.Send(m.From, r.stateKind, resp)
+	}
+}
+
+// installState records a chunk's decisions locally and returns how many were
+// new. Decisions are facts — installing one learned from any peer is always
+// safe — and the donor's frontier advances decidedHigh even when the chunk
+// itself is empty, so the requester knows how far it still has to fetch.
+func (r *Replica) installState(st State) int {
+	fresh := 0
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range st.Entries {
+		inst := r.instance(e.Slot)
+		if _, dup := r.decided[inst]; dup {
+			continue
+		}
+		r.decided[inst] = consensus.Decide{Inst: inst, Round: e.Round, Value: e.Cmd}
+		if e.Slot > r.decidedHigh {
+			r.decidedHigh = e.Slot
+		}
+		fresh++
+	}
+	if st.High > r.decidedHigh {
+		r.decidedHigh = st.High
+	}
+	return fresh
+}
+
+// nextGap returns the first slot >= from this replica has no decision for,
+// and the current decided frontier.
+func (r *Replica) nextGap(from int) (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := from
+	for s <= r.decidedHigh {
+		if _, ok := r.decided[r.instance(s)]; !ok {
+			break
+		}
+		s++
+	}
+	return s, r.decidedHigh
+}
+
+// donors lists the peers a state transfer should try, in order: the
+// detector's trusted process first (the likeliest to hold the full decided
+// prefix), then everyone else in id order, skipping this process and
+// currently suspected ones.
+func (r *Replica) donors(p dsys.Proc) []dsys.ProcessID {
+	susp := r.det.Suspected()
+	var out []dsys.ProcessID
+	if t := r.det.Trusted(); t != dsys.None && t != r.self && !susp.Has(t) {
+		out = append(out, t)
+	}
+	for _, q := range p.All() {
+		if q == r.self || susp.Has(q) || (len(out) > 0 && q == out[0]) {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// stateTransfer fetches the decided range [slot, frontier] from peers in
+// chunked round trips, installing each chunk as it lands, and reports
+// whether it installed anything. A donor that times out or stops yielding
+// new entries is abandoned for the next one; when every donor has been
+// tried the caller falls back to slot-by-slot consensus probes.
+func (r *Replica) stateTransfer(p dsys.Proc, slot int) bool {
+	installed := false
+	match := dsys.MatchKind(r.stateKind)
+	for _, donor := range r.donors(p) {
+		for {
+			next, high := r.nextGap(slot)
+			if installed && next > high {
+				return true // every known slot fetched; the logTask takes over
+			}
+			p.Send(donor, r.fetchKind, Fetch{From: next, Limit: r.cfg.TransferChunk})
+			m, ok := p.RecvTimeout(match, r.cfg.TransferTimeout)
+			if !ok {
+				break // donor silent (crashed or partitioned): next donor
+			}
+			// A late chunk from a previously abandoned donor may arrive here
+			// instead of the current donor's reply; installing it is still
+			// correct, and a no-progress answer just moves us along.
+			if r.installState(m.Payload.(State)) == 0 {
+				if next2, high2 := r.nextGap(slot); next2 > high2 {
+					return installed
+				}
+				break // donor knows no more than we do: next donor
+			}
+			installed = true
+		}
+	}
+	return installed
+}
+
 // Detector returns the replica's failure detector module.
 func (r *Replica) Detector() fd.EventuallyConsistent { return r.det }
 
@@ -290,6 +538,7 @@ func (r *Replica) logTask(p dsys.Proc) {
 	var kickHigh int
 	var kickCmd Command
 	matchKick := dsys.MatchKind(r.kickKind)
+	matchState := dsys.MatchKind(r.stateKind)
 	for {
 		slot := r.slot
 
@@ -297,7 +546,10 @@ func (r *Replica) logTask(p dsys.Proc) {
 		// Kicks left in the mailbox are never consumed by anything else, and
 		// a buffered message that no receiver takes pins the mailbox head —
 		// every later receive scans past it, so a busy replica would slow
-		// down in proportion to how long it has been busy.
+		// down in proportion to how long it has been busy. Stray State
+		// chunks (late answers from an abandoned transfer donor) are drained
+		// for the same reason; their decisions are facts, so installing them
+		// is always right.
 		for {
 			m, ok := p.RecvTimeout(matchKick, 0)
 			if !ok {
@@ -309,17 +561,27 @@ func (r *Replica) logTask(p dsys.Proc) {
 				kickCmd = k.Cmd
 			}
 		}
+		for {
+			m, ok := p.RecvTimeout(matchState, 0)
+			if !ok {
+				break
+			}
+			r.installState(m.Payload.(State))
+		}
 
 		// Wait for a reason to run this slot: a pending command of our own,
-		// a kick from another replica, or an already-known decision.
+		// a kick from another replica, an already-known decision, or a
+		// decided frontier beyond this slot (the decision for this slot
+		// exists somewhere — go get it).
 		for {
 			if _, _, ok := r.lookupDecided(slot); ok {
 				break
 			}
 			r.mu.Lock()
 			hasPending := len(r.pending) > 0
+			behindNow := r.decidedHigh > slot
 			r.mu.Unlock()
-			if hasPending || kickHigh >= slot {
+			if hasPending || behindNow || kickHigh >= slot {
 				break
 			}
 			if m, ok := p.RecvTimeout(matchKick, r.cfg.IdlePoll); ok {
@@ -327,6 +589,36 @@ func (r *Replica) logTask(p dsys.Proc) {
 				if k.Slot > kickHigh {
 					kickHigh = k.Slot
 					kickCmd = k.Cmd
+				}
+			}
+		}
+
+		// Batch catch-up: when the decided frontier is well past this slot
+		// (we restarted, or missed decisions while partitioned away), fetch
+		// the whole decided range from a peer in a few round trips instead of
+		// replaying it one consensus probe per slot. A kick for slot k
+		// implies slots below k are decided, so it reveals the frontier even
+		// when the decide broadcasts themselves were missed — but it is an
+		// announcement, not a decision, so transferLag keeps frontier races
+		// from dragging healthy replicas into blocking fetches. After a
+		// transfer that made no progress, don't retry until the frontier
+		// moves again (the per-slot probe path below remains the fallback).
+		if !r.cfg.NoStateTransfer {
+			r.mu.Lock()
+			frontier := r.decidedHigh
+			if kickHigh-1 > frontier {
+				frontier = kickHigh - 1
+			}
+			_, known := r.decided[r.instance(slot)]
+			stalled := frontier <= r.transferStall
+			r.mu.Unlock()
+			if !known && frontier-slot >= transferLag && !stalled {
+				if !r.stateTransfer(p, slot) {
+					r.mu.Lock()
+					if frontier > r.transferStall {
+						r.transferStall = frontier
+					}
+					r.mu.Unlock()
 				}
 			}
 		}
@@ -344,10 +636,15 @@ func (r *Replica) logTask(p dsys.Proc) {
 			prop = Command{Origin: r.self, Payload: noop{}}
 		}
 		ownProposal := len(r.pending) > 0
+		_, slotDecided := r.decided[r.instance(slot)]
 		r.mu.Unlock()
 
-		if ownProposal {
+		if ownProposal && !slotDecided {
 			// Announce the slot so idle replicas join it with our command.
+			// (Not when its decision is already known — then Propose below
+			// fast-forwards without an instance, and a replica replaying a
+			// long decided range would otherwise spray one announcement
+			// burst per replayed slot.)
 			for _, q := range p.All() {
 				if q != r.self {
 					p.Send(q, r.kickKind, Kick{Slot: slot, Cmd: prop})
@@ -392,12 +689,20 @@ func (r *Replica) logTask(p dsys.Proc) {
 		}
 		if isCmd {
 			if _, isNoop := cmd.Payload.(noop); !isNoop {
-				r.applied = append(r.applied, AppliedEntry{Slot: slot, Cmd: cmd})
-				if r.cfg.Apply != nil {
-					apply := r.cfg.Apply
-					r.mu.Unlock()
-					apply(slot, cmd)
-					r.mu.Lock()
+				// Apply each (Origin, Seq) at most once. The same command
+				// can be decided in two slots: a replica idle at slot j that
+				// received a kick announcing it for slot k>j proposes it at
+				// j, while the kicker proposes it at k, and both instances
+				// can decide it.
+				if key := (cmdKey{cmd.Origin, cmd.Seq}); !r.appliedSeen[key] {
+					r.appliedSeen[key] = true
+					r.applied = append(r.applied, AppliedEntry{Slot: slot, Cmd: cmd})
+					if r.cfg.Apply != nil {
+						apply := r.cfg.Apply
+						r.mu.Unlock()
+						apply(slot, cmd)
+						r.mu.Lock()
+					}
 				}
 			}
 			// Drop the decided command from our queue if it was ours.

@@ -1,0 +1,178 @@
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/consensus/cec"
+	"repro/internal/core"
+	"repro/internal/dsys"
+	"repro/internal/fd/fdtest"
+	"repro/internal/network"
+	"repro/internal/trace"
+)
+
+// partitionedScenario runs the canonical catch-up situation: p3 is cut off
+// from {p1, p2} while p1 decides nSlots commands, the partition heals, the
+// survivors stop suspecting p3, and one more command triggers p3 into
+// noticing the frontier. It returns the replicas and the trace collector so
+// tests can assert on how the catch-up happened.
+func partitionedScenario(t *testing.T, nSlots int, cfgTweak func(*core.Config)) (map[dsys.ProcessID]*core.Replica, *trace.Collector) {
+	t.Helper()
+	const heal = 600 * time.Millisecond
+	net := network.Partitioned{
+		Under:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
+		GroupA: map[dsys.ProcessID]bool{3: true},
+		From:   0,
+		Until:  heal,
+	}
+	// Scripted detectors so the consensus wait rule skips the partitioned
+	// p3 (with the default ring detector a fully partitioned process is
+	// never reintegrated without a restart; E16 covers that path live).
+	dets := map[dsys.ProcessID]*fdtest.Scripted{
+		1: fdtest.NewScripted(1, 3),
+		2: fdtest.NewScripted(1, 3),
+		3: fdtest.NewScripted(1),
+	}
+	k, reps, col := cluster(3, 11, net, func(id dsys.ProcessID) core.Config {
+		cfg := core.Config{Detector: dets[id], TransferChunk: 8, TransferTimeout: 30 * time.Millisecond}
+		if cfgTweak != nil {
+			cfgTweak(&cfg)
+		}
+		return cfg
+	})
+	k.ScheduleFunc(20*time.Millisecond, func(time.Duration) {
+		for i := 0; i < nSlots; i++ {
+			reps[1].Submit(fmt.Sprintf("cmd-%d", i))
+		}
+	})
+	k.ScheduleFunc(heal+200*time.Millisecond, func(time.Duration) {
+		dets[1].Unsuspect(3)
+		dets[2].Unsuspect(3)
+		reps[1].Submit("post-heal")
+	})
+	k.Run(2 * time.Second)
+	return reps, col
+}
+
+// TestStateTransferCatchesUpPartitionedReplica: a replica that missed a long
+// decided range catches up through chunked core.fetch/core.state round trips
+// — several chunks for 40 slots at chunk size 8 — instead of replaying one
+// consensus probe per slot.
+func TestStateTransferCatchesUpPartitionedReplica(t *testing.T) {
+	reps, col := partitionedScenario(t, 40, nil)
+	assertSameLogs(t, reps, dsys.Pids(3), 41)
+	if got := col.Sent(core.KindFetch); got < 5 {
+		t.Errorf("sent %d fetches, want >= 5 (40 slots, chunk 8)", got)
+	}
+	if got := col.Sent(core.KindState); got < 5 {
+		t.Errorf("sent %d state chunks, want >= 5", got)
+	}
+	// The replayed slots must not have gone through per-slot catch-up
+	// probes; a handful of probes from frontier races is fine, one per
+	// missed slot is the regression.
+	if probes := col.Sent(cec.KindProbe); probes > 10 {
+		t.Errorf("sent %d cec probes, want the batch path (few probes)", probes)
+	}
+}
+
+// TestNoStateTransferFallsBackToSlotReplay: the ablation switch disables the
+// batch path and the replica still converges, the old way — per-slot probes,
+// no fetch traffic. This is also the behaviour when every donor is gone.
+func TestNoStateTransferFallsBackToSlotReplay(t *testing.T) {
+	reps, col := partitionedScenario(t, 40, func(cfg *core.Config) { cfg.NoStateTransfer = true })
+	assertSameLogs(t, reps, dsys.Pids(3), 41)
+	if got := col.Sent(core.KindFetch) + col.Sent(core.KindState); got != 0 {
+		t.Errorf("sent %d transfer messages with NoStateTransfer set", got)
+	}
+	if probes := col.Sent(cec.KindProbe); probes < 20 {
+		t.Errorf("sent %d cec probes, want >= 20 (slot-by-slot replay of 40 slots)", probes)
+	}
+}
+
+// TestStateTransferDonorCrashFallsBack: the preferred donor (the detector's
+// trusted process, here with a stale view that still trusts the crashed p1)
+// never answers; after TransferTimeout the requester moves to the next donor
+// and still catches up.
+func TestStateTransferDonorCrashFallsBack(t *testing.T) {
+	const heal = 600 * time.Millisecond
+	net := network.Partitioned{
+		Under:  network.Reliable{Latency: network.Fixed(time.Millisecond)},
+		GroupA: map[dsys.ProcessID]bool{4: true},
+		From:   0,
+		Until:  heal,
+	}
+	dets := map[dsys.ProcessID]*fdtest.Scripted{
+		1: fdtest.NewScripted(1, 4),
+		2: fdtest.NewScripted(1, 4),
+		3: fdtest.NewScripted(1, 4),
+		// p4 heals with a stale detector view: trusts p1, suspects nobody —
+		// so its first transfer attempt goes to the dead p1.
+		4: fdtest.NewScripted(1),
+	}
+	k, reps, col := cluster(4, 12, net, func(id dsys.ProcessID) core.Config {
+		return core.Config{Detector: dets[id], TransferChunk: 64, TransferTimeout: 30 * time.Millisecond}
+	})
+	k.ScheduleFunc(20*time.Millisecond, func(time.Duration) {
+		for i := 0; i < 30; i++ {
+			reps[1].Submit(fmt.Sprintf("cmd-%d", i))
+		}
+	})
+	k.CrashAt(1, heal+20*time.Millisecond)
+	k.ScheduleFunc(heal+40*time.Millisecond, func(time.Duration) {
+		for _, id := range []dsys.ProcessID{2, 3} {
+			dets[id].Suspect(1)
+			dets[id].Unsuspect(4)
+			dets[id].SetTrusted(2)
+		}
+		reps[2].Submit("post-crash")
+	})
+	k.Run(3 * time.Second)
+	assertSameLogs(t, reps, []dsys.ProcessID{2, 3, 4}, 31)
+	// At least one fetch was wasted on the dead donor p1 before p2 served
+	// the range.
+	toDead, toLive := 0, 0
+	for _, ev := range col.Events() {
+		if ev.Kind == core.KindFetch && ev.From == 4 {
+			if ev.To == 1 {
+				toDead++
+			} else {
+				toLive++
+			}
+		}
+	}
+	if toDead == 0 || toLive == 0 {
+		t.Errorf("fetches from p4: %d to crashed p1, %d to live donors; want both > 0 (timeout then fallback)", toDead, toLive)
+	}
+}
+
+// TestKickedCommandAppliedOnce is the regression test for the duplicate-
+// apply race: a kick announcing command X for slot 2 reaches replicas still
+// idle at slot 1, so they propose (and decide) X at slot 1 — and then the
+// stale kick makes them propose X again at slot 2, where it is decided a
+// second time. The command must still be applied exactly once.
+func TestKickedCommandAppliedOnce(t *testing.T) {
+	k, reps, _ := cluster(3, 13, reliable(), nil)
+	x := core.Command{Origin: 9, Seq: 999, Payload: "X"}
+	k.Spawn(1, "injector", func(p dsys.Proc) {
+		p.Sleep(30 * time.Millisecond)
+		for _, q := range p.All() {
+			p.Send(q, core.KindKick, core.Kick{Slot: 2, Cmd: x})
+		}
+	})
+	k.ScheduleFunc(300*time.Millisecond, func(time.Duration) {
+		reps[1].Submit("Y")
+	})
+	k.Run(2 * time.Second)
+	for _, id := range dsys.Pids(3) {
+		got := reps[id].Applied()
+		// X decided at slots 1 AND 2; applied only at 1. Y's slot proves
+		// slot 2 was consumed by the duplicate decision.
+		want := []core.AppliedEntry{{Slot: 1, Cmd: x}}
+		if len(got) != 2 || !reflect.DeepEqual(got[0], want[0]) || got[1].Cmd.Payload != "Y" || got[1].Slot != 3 {
+			t.Fatalf("%v applied %v, want [X@1, Y@3] with X applied exactly once", id, got)
+		}
+	}
+}

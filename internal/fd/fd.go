@@ -138,6 +138,23 @@ type EventuallyConsistent interface {
 	LeaderOracle
 }
 
+// LeadershipDeferrer is implemented by detector modules whose Trusted()
+// choice can pass over processes that report themselves not ready to lead.
+// A layer above (e.g. a replicated log whose replica is replaying missed
+// slots after a restart) registers a readiness predicate; while it returns
+// false the module flags its own process as deferring in the signals it
+// already sends, so peers' Trusted() skip it and leadership lands on the
+// next caught-up process instead of parking on a deaf one. Deferral is
+// advisory and transient: it must not affect Suspected(), and when every
+// candidate defers (or the predicate never turns true) implementations fall
+// back to the plain ◇C choice, preserving the Ω property.
+type LeadershipDeferrer interface {
+	// SetReadiness registers fn; nil unregisters. fn must be safe to call
+	// from any task and should be cheap — it is consulted on the module's
+	// signalling path.
+	SetReadiness(fn func() bool)
+}
+
 // Beacon is implemented by detectors whose (believed) leader periodically
 // broadcasts to all other processes. It lets other layers piggyback payloads
 // on those broadcasts — the optimization of Section 4 that halves the

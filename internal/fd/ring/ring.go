@@ -100,21 +100,35 @@ type Detector struct {
 	watchers  map[dsys.ProcessID]time.Duration // watcher -> expiry
 	lastWatch time.Duration                    // last renewal WATCH to pred
 	falseSusp int
+
+	// Leadership deferral (fd.LeadershipDeferrer): ready is this process's
+	// own readiness predicate; deferUntil holds peers whose beats carried a
+	// self-mark, each with an expiry so a mark cannot outlive its sender's
+	// beats (the mark travels one hop only — exactly far enough, since the
+	// deferrer's successor is the process that must claim leadership, and
+	// consensus coordinators are adopted from their announcements by
+	// everyone else).
+	ready      func() bool
+	deferUntil map[dsys.ProcessID]time.Duration
 }
 
-var _ fd.EventuallyConsistent = (*Detector)(nil)
+var (
+	_ fd.EventuallyConsistent = (*Detector)(nil)
+	_ fd.LeadershipDeferrer   = (*Detector)(nil)
+)
 
 // Start attaches a ring detector to p's process and spawns its tasks.
 func Start(p dsys.Proc, opt Options) *Detector {
 	opt.fill()
 	d := &Detector{
-		opt:       opt,
-		self:      p.ID(),
-		n:         p.N(),
-		susp:      fd.Set{},
-		lastHeard: make(map[dsys.ProcessID]time.Duration, p.N()),
-		timeout:   make(map[dsys.ProcessID]time.Duration, p.N()),
-		watchers:  make(map[dsys.ProcessID]time.Duration),
+		opt:        opt,
+		self:       p.ID(),
+		n:          p.N(),
+		susp:       fd.Set{},
+		lastHeard:  make(map[dsys.ProcessID]time.Duration, p.N()),
+		timeout:    make(map[dsys.ProcessID]time.Duration, p.N()),
+		watchers:   make(map[dsys.ProcessID]time.Duration),
+		deferUntil: make(map[dsys.ProcessID]time.Duration),
 	}
 	now := p.Now()
 	for _, q := range p.All() {
@@ -138,11 +152,41 @@ func (d *Detector) Suspected() fd.Set {
 }
 
 // Trusted implements fd.LeaderOracle: the first non-suspected process in
-// ring order starting from the initial candidate p1.
+// ring order starting from the initial candidate p1, passing over processes
+// that currently defer leadership (see SetReadiness). If every non-suspected
+// process defers, the plain ◇C choice applies — deferral may cost a little
+// time, never the Ω property.
 func (d *Detector) Trusted() dsys.ProcessID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.ready == nil && len(d.deferUntil) == 0 {
+		return fd.FirstNonSuspected(d.susp, d.n)
+	}
+	for i := 1; i <= d.n; i++ {
+		q := dsys.ProcessID(i)
+		if !d.susp.Has(q) && !d.defers(q) {
+			return q
+		}
+	}
 	return fd.FirstNonSuspected(d.susp, d.n)
+}
+
+// SetReadiness implements fd.LeadershipDeferrer: while fn returns false this
+// process marks itself as deferring in its ring heartbeats and skips itself
+// in Trusted().
+func (d *Detector) SetReadiness(fn func() bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ready = fn
+}
+
+// defers reports whether q currently declines leadership. Callers hold d.mu.
+func (d *Detector) defers(q dsys.ProcessID) bool {
+	if q == d.self {
+		return d.ready != nil && !d.ready()
+	}
+	_, ok := d.deferUntil[q]
+	return ok
 }
 
 // FalseSuspicions returns how many suspicions were later retracted.
@@ -218,7 +262,14 @@ func (d *Detector) beatTask(p dsys.Proc) {
 			}
 		}
 		list := d.susp.Members()
+		ready := d.ready
 		d.mu.Unlock()
+		if ready != nil && !ready() {
+			// Mark leadership deferral by listing ourselves in our own beat
+			// — no recipient ever suspects the process it just heard from,
+			// so the self-entry is unambiguous and costs no extra message.
+			list = append(list, d.self)
+		}
 		for _, q := range targets.Members() {
 			p.Send(q, KindBeat, list)
 		}
@@ -239,6 +290,23 @@ func (d *Detector) recvTask(p dsys.Proc) {
 			d.watchers[m.From] = p.Now() + d.opt.WatchTTL
 		case KindBeat:
 			d.lastHeard[m.From] = p.Now()
+			beat, _ := m.Payload.([]dsys.ProcessID)
+			selfMarked := false
+			for _, q := range beat {
+				if q == m.From {
+					selfMarked = true
+					break
+				}
+			}
+			if selfMarked {
+				// The sender defers leadership (e.g. it is replaying its log
+				// after a restart). The mark expires on its own so a stale
+				// entry cannot outlive the sender's beats if the ring is
+				// re-stitched away from us.
+				d.deferUntil[m.From] = p.Now() + d.opt.InitialTimeout
+			} else {
+				delete(d.deferUntil, m.From)
+			}
 			if d.susp.Has(m.From) {
 				// A falsely suspected process resurfaced: retract, back off
 				// its timeout, and re-evaluate whom to monitor.
@@ -257,7 +325,9 @@ func (d *Detector) recvTask(p dsys.Proc) {
 				// learned of their crashes (the information must travel the
 				// whole ring) must not be able to erase them.
 				newSusp := fd.Set{}
-				for _, q := range m.Payload.([]dsys.ProcessID) {
+				for _, q := range beat {
+					// q == d.pred also filters the sender's own deferral
+					// mark, which is a leadership hint, not a suspicion.
 					if q != d.self && q != d.pred {
 						newSusp.Add(q)
 					}
@@ -278,6 +348,11 @@ func (d *Detector) checkTask(p dsys.Proc) {
 		p.Sleep(d.opt.CheckInterval)
 		now := p.Now()
 		d.mu.Lock()
+		for q, exp := range d.deferUntil {
+			if exp <= now {
+				delete(d.deferUntil, q)
+			}
+		}
 		if d.pred == dsys.None {
 			if np := d.nearestPred(); np != dsys.None {
 				d.setPred(p, np)

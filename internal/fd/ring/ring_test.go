@@ -1,6 +1,7 @@
 package ring_test
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/fd/fdlab"
 	"repro/internal/fd/ring"
 	"repro/internal/network"
+	"repro/internal/sim"
 )
 
 func run(t *testing.T, n int, seed int64, net network.Network, crashes map[dsys.ProcessID]time.Duration, runFor time.Duration) fdlab.Result {
@@ -187,5 +189,51 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	}
 	if run() != run() {
 		t.Error("ring detector runs diverged under identical seeds")
+	}
+}
+
+// TestLeadershipDeferral exercises the fd.LeadershipDeferrer hook: while
+// p1's readiness predicate is false, p1 marks itself in its beats, so p1
+// itself and its beat recipient p2 (the process that must take over) skip it
+// in Trusted(); p3 — one more hop away — still names p1, which is fine: the
+// deferral only needs to move self-trust off the deferring process and onto
+// exactly one caught-up successor. Once the predicate flips back, everyone
+// converges on p1 again and the marks expire.
+func TestLeadershipDeferral(t *testing.T) {
+	var ready atomic.Bool
+	k := sim.New(sim.Config{N: 3, Network: network.Reliable{Latency: network.Fixed(time.Millisecond)}, Seed: 7})
+	dets := make(map[dsys.ProcessID]*ring.Detector, 3)
+	for _, id := range dsys.Pids(3) {
+		id := id
+		k.Spawn(id, "det", func(p dsys.Proc) {
+			dets[id] = ring.Start(p, ring.Options{})
+			if id == 1 {
+				dets[id].SetReadiness(ready.Load)
+			}
+		})
+	}
+	type view struct{ t1, t2, t3 dsys.ProcessID }
+	var during view
+	k.ScheduleFunc(280*time.Millisecond, func(time.Duration) {
+		during = view{dets[1].Trusted(), dets[2].Trusted(), dets[3].Trusted()}
+	})
+	k.ScheduleFunc(300*time.Millisecond, func(time.Duration) { ready.Store(true) })
+	k.Run(600 * time.Millisecond)
+
+	if during.t1 != 2 || during.t2 != 2 {
+		t.Errorf("while deferring: p1 trusts %v, p2 trusts %v; want both to skip p1 and name p2", during.t1, during.t2)
+	}
+	if during.t3 != 1 {
+		t.Errorf("while deferring: p3 trusts %v; the mark must not travel beyond one hop (want p1)", during.t3)
+	}
+	for _, id := range dsys.Pids(3) {
+		if got := dets[id].Trusted(); got != 1 {
+			t.Errorf("after readiness returned: %v trusts %v, want p1", id, got)
+		}
+	}
+	for _, id := range dsys.Pids(3) {
+		if got := dets[id].Suspected(); got.Len() != 0 {
+			t.Errorf("deferral leaked into %v's suspect set: %v", id, got)
+		}
 	}
 }

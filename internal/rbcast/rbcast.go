@@ -23,17 +23,24 @@ import (
 // default, un-namespaced module; see StartNamespace).
 const Kind = "rb.msg"
 
-// Wire is the transport envelope of reliable-broadcast messages. Origin
-// and Seq identify the broadcast. It is exported so transports that need to
-// serialize payloads (package tcpnet) can register it.
+// Wire is the transport envelope of reliable-broadcast messages. Origin,
+// Inc and Seq identify the broadcast. It is exported so transports that need
+// to serialize payloads (package tcpnet) can register it.
 type Wire struct {
-	Origin  dsys.ProcessID
+	Origin dsys.ProcessID
+	// Inc is the origin module's incarnation stamp. Sequence numbers start
+	// at 1 in every module; without the stamp, a process that crashes and
+	// restarts (new module, same process identity) re-issues sequence
+	// numbers its peers have already marked delivered, and every broadcast
+	// of the new life is silently dropped as a duplicate of the old one.
+	Inc     int64
 	Seq     int
 	Payload any
 }
 
 type key struct {
 	origin dsys.ProcessID
+	inc    int64
 	seq    int
 }
 
@@ -48,6 +55,7 @@ type Module struct {
 	self dsys.ProcessID
 	all  []dsys.ProcessID
 	kind string
+	inc  int64
 
 	mu        sync.Mutex
 	seq       int
@@ -64,16 +72,33 @@ func Start(p dsys.Proc) *Module { return StartNamespace(p, "") }
 // StartNamespace attaches a module whose transport messages carry a
 // namespaced kind, so several independent broadcast domains (e.g. two
 // replicated logs) can coexist on the same processes. All processes of a
-// domain must use the same namespace.
+// domain must use the same namespace. The module's incarnation is stamped
+// from p.Now() — sufficient where restarts advance the process clock (the
+// simulator's virtual time); embedders whose clock restarts with the
+// process (an OS-process node) must use StartNamespaceInc with a stamp that
+// survives the reset, e.g. wall-clock nanoseconds.
 func StartNamespace(p dsys.Proc, ns string) *Module {
+	return StartNamespaceInc(p, ns, int64(p.Now()))
+}
+
+// StartNamespaceInc is StartNamespace with an explicit incarnation stamp.
+// The stamp distinguishes this module's broadcasts from those of earlier
+// lives of the same process, whose sequence numbers peers may already have
+// marked delivered; it must differ from every stamp the process used
+// before. An inc of 0 falls back to p.Now().
+func StartNamespaceInc(p dsys.Proc, ns string, inc int64) *Module {
 	kind := Kind
 	if ns != "" {
 		kind += "/" + ns
+	}
+	if inc == 0 {
+		inc = int64(p.Now())
 	}
 	m := &Module{
 		self:      p.ID(),
 		all:       p.All(),
 		kind:      kind,
+		inc:       inc,
 		delivered: make(map[key]bool),
 		handlers:  make(map[int]Handler),
 	}
@@ -106,7 +131,7 @@ func (m *Module) Broadcast(p dsys.Proc, payload any) {
 	}
 	m.mu.Lock()
 	m.seq++
-	w := Wire{Origin: m.self, Seq: m.seq, Payload: payload}
+	w := Wire{Origin: m.self, Inc: m.inc, Seq: m.seq, Payload: payload}
 	m.mu.Unlock()
 	for _, q := range m.all {
 		p.Send(q, m.kind, w)
@@ -120,7 +145,7 @@ func (m *Module) relayTask(p dsys.Proc) {
 			return
 		}
 		w := msg.Payload.(Wire)
-		k := key{w.Origin, w.Seq}
+		k := key{w.Origin, w.Inc, w.Seq}
 		m.mu.Lock()
 		if m.delivered[k] {
 			m.mu.Unlock()

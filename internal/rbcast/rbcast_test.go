@@ -198,3 +198,47 @@ func TestForeignHandlePanics(t *testing.T) {
 	})
 	k.Run(10 * time.Millisecond)
 }
+
+func TestRestartedOriginNotDeduplicated(t *testing.T) {
+	// A process that crashes and restarts re-issues sequence numbers from 1
+	// under a fresh incarnation stamp. Its peers, still holding the old
+	// life's delivered set, must deliver the new life's broadcasts — before
+	// Wire carried Inc they were dropped as duplicates, and (in the live
+	// cluster) every decision a restarted coordinator broadcast reached its
+	// followers only via consensus probe timeouts. Process 1 plays both of
+	// its lives by injecting raw envelopes: same Origin and Seq, different
+	// Inc. Duplicates within one life must still be suppressed.
+	log := &deliveryLog{}
+	k := sim.New(sim.Config{N: 3, Network: reliable(), Seed: 9})
+	for _, id := range []dsys.ProcessID{2, 3} {
+		id := id
+		k.Spawn(id, "rb", func(p dsys.Proc) {
+			m := rbcast.Start(p)
+			m.OnDeliver(func(p dsys.Proc, origin dsys.ProcessID, payload any) {
+				log.add(delivery{at: p.ID(), origin: origin, payload: payload})
+			})
+			p.Sleep(time.Hour)
+		})
+	}
+	k.Spawn(1, "two-lives", func(p dsys.Proc) {
+		send := func(w rbcast.Wire) {
+			for _, q := range []dsys.ProcessID{2, 3} {
+				p.Send(q, rbcast.Kind, w)
+			}
+		}
+		send(rbcast.Wire{Origin: 1, Inc: 100, Seq: 1, Payload: "first-life"})
+		p.Sleep(10 * time.Millisecond)
+		send(rbcast.Wire{Origin: 1, Inc: 100, Seq: 1, Payload: "first-life"}) // retransmission: a duplicate
+		send(rbcast.Wire{Origin: 1, Inc: 200, Seq: 1, Payload: "second-life"})
+	})
+	k.Run(time.Second)
+	for _, id := range []dsys.ProcessID{2, 3} {
+		var got []any
+		for _, d := range log.at(id) {
+			got = append(got, d.payload)
+		}
+		if len(got) != 2 || got[0] != "first-life" || got[1] != "second-life" {
+			t.Errorf("%v delivered %v, want [first-life second-life]", id, got)
+		}
+	}
+}

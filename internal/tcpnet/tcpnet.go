@@ -82,6 +82,8 @@ func init() {
 	wire.RegisterGob(mrc.LdrInfo{})
 	wire.RegisterGob(core.Kick{})
 	wire.RegisterGob(core.Command{})
+	wire.RegisterGob(core.Fetch{})
+	wire.RegisterGob(core.State{})
 	wire.RegisterGob([]dsys.ProcessID(nil))
 	wire.RegisterGob([]uint32(nil))
 	wire.RegisterGob([]uint64(nil))

@@ -61,11 +61,12 @@ func init() {
 		func(e *Encoder, v any) {
 			m := v.(rbcast.Wire)
 			e.Varint(int64(m.Origin))
+			e.Varint(m.Inc)
 			e.Varint(int64(m.Seq))
 			e.Value(m.Payload)
 		},
 		func(d *Decoder) any {
-			return rbcast.Wire{Origin: d.PID(), Seq: d.Int(), Payload: d.Value()}
+			return rbcast.Wire{Origin: d.PID(), Inc: d.Varint(), Seq: d.Int(), Payload: d.Value()}
 		})
 	// MR consensus phase-1 leader announcement (rides in consensus.Msg.Est).
 	Register(mrc.LdrInfo{},
@@ -91,14 +92,55 @@ func init() {
 		func(d *Decoder) any {
 			return core.Kick{Slot: d.Int(), Cmd: decCommand(d)}
 		})
+	// State-transfer request (decided-range fetch).
+	Register(core.Fetch{},
+		func(e *Encoder, v any) {
+			m := v.(core.Fetch)
+			e.Varint(int64(m.From))
+			e.Varint(int64(m.Limit))
+		},
+		func(d *Decoder) any {
+			return core.Fetch{From: d.Int(), Limit: d.Int()}
+		})
+	// State-transfer chunk: a run of decided slots plus the donor's
+	// frontier. Entries are encoded inline (no nested tags); the count is
+	// bounded by sliceCap so a hostile frame cannot force a huge
+	// allocation.
+	Register(core.State{},
+		func(e *Encoder, v any) {
+			m := v.(core.State)
+			e.Varint(int64(m.From))
+			e.Varint(int64(m.High))
+			e.Uvarint(uint64(len(m.Entries)))
+			for _, en := range m.Entries {
+				e.Varint(int64(en.Slot))
+				e.Varint(int64(en.Round))
+				encCommand(e, en.Cmd)
+			}
+		},
+		func(d *Decoder) any {
+			st := core.State{From: d.Int(), High: d.Int()}
+			n, ok := d.sliceCap(d.Uvarint())
+			if !ok {
+				return st
+			}
+			for i := 0; i < n && d.Err() == nil; i++ {
+				st.Entries = append(st.Entries, core.StateEntry{
+					Slot:  d.Int(),
+					Round: d.Int(),
+					Cmd:   decCommand(d),
+				})
+			}
+			return st
+		})
 }
 
 func encCommand(e *Encoder, c core.Command) {
 	e.Varint(int64(c.Origin))
-	e.Varint(int64(c.Seq))
+	e.Varint(c.Seq)
 	e.Value(c.Payload)
 }
 
 func decCommand(d *Decoder) core.Command {
-	return core.Command{Origin: d.PID(), Seq: d.Int(), Payload: d.Value()}
+	return core.Command{Origin: d.PID(), Seq: d.Varint(), Payload: d.Value()}
 }

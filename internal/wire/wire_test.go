@@ -67,6 +67,13 @@ func testFrames() []Frame {
 		{From: 5, To: 1, Kind: "rb.msg", Payload: rbcast.Wire{Origin: 5, Seq: 17, Payload: consensus.Decide{Inst: "i", Round: 2, Value: "v"}}},
 		{From: 5, To: 1, Kind: "core.kick", Payload: core.Kick{Slot: 9, Cmd: core.Command{Origin: 2, Seq: 3, Payload: "cmd"}}},
 		{From: 5, To: 1, Kind: "cmd", Payload: core.Command{Origin: 1, Seq: 1, Payload: nil}},
+		{From: 5, To: 1, Kind: "cmd", Payload: core.Command{Origin: 3, Seq: 1754521953131866112, Payload: "wide-seq"}},
+		{From: 3, To: 2, Kind: "core.fetch", Payload: core.Fetch{From: 17, Limit: 256}},
+		{From: 2, To: 3, Kind: "core.state", Payload: core.State{From: 17, High: 19}},
+		{From: 2, To: 3, Kind: "core.state", Payload: core.State{From: 17, High: 19, Entries: []core.StateEntry{
+			{Slot: 17, Round: 1, Cmd: core.Command{Origin: 1, Seq: 4, Payload: "a"}},
+			{Slot: 18, Round: 2, Cmd: core.Command{Origin: 2, Seq: 1 << 40, Payload: "b"}},
+		}}},
 		{From: 1, To: 2, Kind: "gob", Payload: map[string]int{"a": 1}}, // fallback lane
 	}
 }
@@ -86,6 +93,7 @@ func TestRegisteredLaneUsed(t *testing.T) {
 	for _, v := range []any{
 		&omega.BeatPayload{}, consensus.Msg{}, consensus.Decide{},
 		rbcast.Wire{}, mrc.LdrInfo{}, core.Command{}, core.Kick{},
+		core.Fetch{}, core.State{},
 	} {
 		if !Registered(v) {
 			t.Errorf("%T not in the registered fast lane", v)
