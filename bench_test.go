@@ -436,6 +436,12 @@ func BenchmarkE16ClusterKillRestart(b *testing.B) {
 	runExperiment(b, expt.E16ClusterKillRestart)
 }
 
+// BenchmarkE17PipelineThroughput regenerates the E17 table (quick mode:
+// batch × pipeline sim cells plus live baseline/tuned/leader-kill runs).
+func BenchmarkE17PipelineThroughput(b *testing.B) {
+	runExperiment(b, expt.E17PipelineThroughput)
+}
+
 // BenchmarkRingDetectorSteadyState measures simulator throughput on the ring
 // detector's steady state — a substrate-level performance benchmark.
 func BenchmarkRingDetectorSteadyState(b *testing.B) {
@@ -453,43 +459,50 @@ func BenchmarkRingDetectorSteadyState(b *testing.B) {
 	}
 }
 
-// BenchmarkReplicatedLogThroughput measures how many fully replicated log
-// slots per wall-clock second the stack sustains in simulation (5 replicas,
-// ring detector, one ◇C consensus instance per slot).
+// BenchmarkReplicatedLogThroughput measures how many fully replicated
+// commands per wall-clock second the stack sustains in simulation (5
+// replicas, ring detector). The unbatched cell pins one command per slot and
+// a sequential window — one ◇C consensus instance per command — while the
+// batched cell uses the core defaults (MaxBatch 64, Pipeline 4), amortizing
+// the consensus round over a whole batch.
 func BenchmarkReplicatedLogThroughput(b *testing.B) {
-	n := 5
-	perReplica := 4
-	slotsTotal := 0
-	start := time.Now()
-	for i := 0; i < b.N; i++ {
-		k := sim.New(sim.Config{
-			N:       n,
-			Network: network.Reliable{Latency: network.Fixed(time.Millisecond)},
-			Seed:    int64(i),
-		})
-		reps := make(map[dsys.ProcessID]*core.Replica, n)
-		for _, id := range dsys.Pids(n) {
-			id := id
-			k.Spawn(id, "replica", func(p dsys.Proc) {
-				reps[id] = core.StartReplica(p, core.Config{})
-			})
-		}
-		for j := 0; j < perReplica; j++ {
-			j := j
-			k.ScheduleFunc(time.Duration(5+j*20)*time.Millisecond, func(time.Duration) {
+	bench := func(maxBatch, pipeline, perReplica int) func(*testing.B) {
+		return func(b *testing.B) {
+			n := 5
+			cmdsTotal := 0
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				k := sim.New(sim.Config{
+					N:       n,
+					Network: network.Reliable{Latency: network.Fixed(time.Millisecond)},
+					Seed:    int64(i),
+				})
+				reps := make(map[dsys.ProcessID]*core.Replica, n)
 				for _, id := range dsys.Pids(n) {
-					reps[id].Submit(j)
+					id := id
+					k.Spawn(id, "replica", func(p dsys.Proc) {
+						reps[id] = core.StartReplica(p, core.Config{MaxBatch: maxBatch, Pipeline: pipeline})
+					})
 				}
-			})
+				k.ScheduleFunc(5*time.Millisecond, func(time.Duration) {
+					for _, id := range dsys.Pids(n) {
+						for j := 0; j < perReplica; j++ {
+							reps[id].Submit(j)
+						}
+					}
+				})
+				k.Run(5 * time.Second)
+				applied := len(reps[1].AppliedValues())
+				if applied != n*perReplica {
+					b.Fatalf("replica applied %d of %d commands", applied, n*perReplica)
+				}
+				cmdsTotal += applied
+			}
+			b.ReportMetric(float64(cmdsTotal)/time.Since(start).Seconds(), "cmds/s")
 		}
-		k.Run(5 * time.Second)
-		applied := len(reps[1].AppliedValues())
-		if applied != n*perReplica {
-			b.Fatalf("replica applied %d of %d commands", applied, n*perReplica)
-		}
-		slotsTotal += applied
 	}
-	b.ReportMetric(float64(slotsTotal)/time.Since(start).Seconds(), "slots/s")
+	b.Run("unbatched", bench(1, 1, 8))
+	b.Run("batched", bench(0, 0, 64))
 }
 
 // BenchmarkConsensusDecisionLatency measures end-to-end virtual decision

@@ -8,7 +8,14 @@
 // Usage:
 //
 //	ecload -addrs 127.0.0.1:7201,127.0.0.1:7202 [-duration 10s] [-conc 4]
-//	       [-rate 0] [-timeout 5s] [-json report.json]
+//	       [-rate 0] [-timeout 5s] [-p999] [-json report.json]
+//
+// Latency is measured per command: each propose carries one command and its
+// sample is the full submit-to-applied round trip, so the percentiles stay
+// per-command commit latencies even when the server batches many commands
+// into one consensus slot. -p999 adds a p99.9 column to the human summary
+// (the JSON report always carries it — tail latency is where batching
+// trade-offs show first).
 //
 // The human-readable summary goes to stdout; -json additionally writes the
 // machine-readable cluster.LoadReport ("-" writes it to stdout instead of
@@ -36,6 +43,7 @@ func main() {
 	conc := flag.Int("conc", 4, "concurrent workers")
 	rate := flag.Int("rate", 0, "total ops/s cap across all workers (0 = closed loop)")
 	opTimeout := flag.Duration("timeout", 5*time.Second, "per-operation timeout")
+	p999 := flag.Bool("p999", false, "add a p99.9 column to the latency summary")
 	jsonOut := flag.String("json", "", "write the JSON report to this file ('-' = stdout)")
 	flag.Parse()
 
@@ -75,7 +83,11 @@ func main() {
 	if *jsonOut != "-" {
 		fmt.Printf("ecload: %d nodes, %d workers, %v\n", len(addrs), rep.Workers, *duration)
 		fmt.Printf("  committed  %d ops (%.1f ops/s), %d errors\n", rep.Committed, rep.OpsPerSec, rep.Errors)
-		fmt.Printf("  latency    p50 %.1fms  p95 %.1fms  p99 %.1fms\n", rep.P50MS, rep.P95MS, rep.P99MS)
+		if *p999 {
+			fmt.Printf("  latency    p50 %.1fms  p95 %.1fms  p99 %.1fms  p99.9 %.1fms\n", rep.P50MS, rep.P95MS, rep.P99MS, rep.P999MS)
+		} else {
+			fmt.Printf("  latency    p50 %.1fms  p95 %.1fms  p99 %.1fms\n", rep.P50MS, rep.P95MS, rep.P99MS)
+		}
 		fmt.Printf("  per-second %v\n", rep.PerSecond)
 	}
 	if rep.Committed == 0 {
@@ -181,13 +193,6 @@ func drive(addrs []string, duration time.Duration, conc, rate int, opTimeout tim
 		all = append(all, l...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	perSecond := make([]int, int(math.Ceil(wall.Seconds())))
-	if len(perSecond) > len(buckets) {
-		perSecond = perSecond[:len(buckets)]
-	}
-	for i := range perSecond {
-		perSecond[i] = int(buckets[i])
-	}
 	rep := cluster.LoadReport{
 		Addrs:      addrs,
 		Workers:    conc,
@@ -195,7 +200,7 @@ func drive(addrs []string, duration time.Duration, conc, rate int, opTimeout tim
 		DurationMS: wall.Milliseconds(),
 		Committed:  int(committed.Load()),
 		Errors:     int(errors.Load()),
-		PerSecond:  perSecond,
+		PerSecond:  timeline(buckets, wall),
 	}
 	if wall > 0 {
 		rep.OpsPerSec = float64(rep.Committed) / wall.Seconds()
@@ -204,8 +209,31 @@ func drive(addrs []string, duration time.Duration, conc, rate int, opTimeout tim
 		rep.P50MS = ms(percentile(all, 0.50))
 		rep.P95MS = ms(percentile(all, 0.95))
 		rep.P99MS = ms(percentile(all, 0.99))
+		rep.P999MS = ms(percentile(all, 0.999))
 	}
 	return rep
+}
+
+// timeline trims the completion-time buckets to the reported per-second
+// series. Sizing it by ceil(wall) alone drops the partial final second when
+// the wall clock lands on (or a completion rounds down to) the last bucket
+// boundary, so the series extends to the last bucket that actually counted
+// an op.
+func timeline(buckets []int64, wall time.Duration) []int {
+	n := int(math.Ceil(wall.Seconds()))
+	for i, b := range buckets {
+		if b != 0 && i+1 > n {
+			n = i + 1
+		}
+	}
+	if n > len(buckets) {
+		n = len(buckets)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(buckets[i])
+	}
+	return out
 }
 
 func sleepOrStop(stop <-chan struct{}, d time.Duration) {

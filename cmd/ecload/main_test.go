@@ -1,6 +1,7 @@
 package main
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -46,5 +47,31 @@ func TestPercentileEdgeCases(t *testing.T) {
 	}
 	if got := percentile(sorted, 1); got != 10 {
 		t.Errorf("p100 must clamp to the last sample, got %v", got)
+	}
+}
+
+// TestTimelineKeepsPartialFinalSecond pins the timeline fix: ops counted in
+// the bucket at index ceil(wall) — the partial final second, reachable when
+// the wall clock rounds to a whole second — must not be sliced off the
+// reported series.
+func TestTimelineKeepsPartialFinalSecond(t *testing.T) {
+	cases := []struct {
+		name    string
+		buckets []int64
+		wall    time.Duration
+		want    []int
+	}{
+		{"mid-second wall", []int64{5, 7, 3, 0, 0}, 2500 * time.Millisecond, []int{5, 7, 3}},
+		// The original bug: wall lands on a whole second and the final
+		// bucket's ops vanish from the series.
+		{"whole-second wall with trailing ops", []int64{5, 7, 3, 1, 0}, 3 * time.Second, []int{5, 7, 3, 1}},
+		{"trailing zeros trimmed", []int64{5, 7, 0, 0, 0}, 1800 * time.Millisecond, []int{5, 7}},
+		{"empty run", []int64{0, 0, 0}, 900 * time.Millisecond, []int{0}},
+		{"never exceeds bucket count", []int64{1, 1}, 5 * time.Second, []int{1, 1}},
+	}
+	for _, c := range cases {
+		if got := timeline(c.buckets, c.wall); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: timeline(%v, %v) = %v, want %v", c.name, c.buckets, c.wall, got, c.want)
+		}
 	}
 }

@@ -136,6 +136,10 @@ func run(cfg cluster.NodeConfig) error {
 				// throughput collapse (E16's leader-kill phase).
 				SeqBase:     time.Now().UnixNano(),
 				Incarnation: time.Now().UnixNano(),
+				// Throughput knobs (0 = core defaults; 1/1 = unbatched,
+				// sequential baseline — what E17's comparison cells use).
+				MaxBatch: cfg.MaxBatch,
+				Pipeline: cfg.Pipeline,
 			})
 		}
 		nd.mu.Lock()

@@ -69,6 +69,11 @@ func main() {
 			// broadcast life per process is correct. A replica in a process
 			// that can crash and restart (cmd/ecnode) must set both to a
 			// per-incarnation value — see core.Config.
+			// MaxBatch/Pipeline are also left zero — the defaults (64/4)
+			// batch commands into slots and overlap consensus instances.
+			// Lock handoff order is unaffected: batches apply per command
+			// in slot order, so acquire/release interleavings are decided
+			// exactly as with MaxBatch=1, Pipeline=1.
 			replicas[id] = core.StartReplica(p, core.Config{Apply: m.apply})
 		})
 	}

@@ -49,6 +49,16 @@ func main() {
 					c := cmd.Payload.(setCmd)
 					stores[id][c.Key] = c.Val
 				},
+				// Throughput knobs, set here to the defaults they'd get
+				// anyway: a slot carries up to MaxBatch commands from one
+				// origin (one consensus round commits the whole batch) and
+				// up to Pipeline consecutive slots run concurrently, with
+				// decisions applied strictly in slot order. Apply still
+				// fires once per command, so the state machine is
+				// batching-oblivious. 1/1 restores one-command-per-round
+				// sequential commits; see E17 for what the knobs buy.
+				MaxBatch: 64,
+				Pipeline: 4,
 			})
 		})
 	}

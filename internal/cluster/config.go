@@ -63,6 +63,12 @@ type NodeConfig struct {
 	// PeriodMS is the detector heartbeat period in milliseconds
 	// (default 10).
 	PeriodMS int `json:"period_ms,omitempty"`
+	// MaxBatch caps commands per replicated-log slot (0 = core's default,
+	// currently 64; 1 = unbatched).
+	MaxBatch int `json:"max_batch,omitempty"`
+	// Pipeline is the replicated log's instance window (0 = core's default,
+	// currently 4; 1 = strictly sequential slots).
+	Pipeline int `json:"pipeline,omitempty"`
 }
 
 // Validate checks the config for internal consistency and fills defaults.
@@ -103,6 +109,9 @@ func (c *NodeConfig) Validate() error {
 	}
 	if c.PeriodMS <= 0 {
 		c.PeriodMS = 10
+	}
+	if c.MaxBatch < 0 || c.Pipeline < 0 {
+		return fmt.Errorf("cluster: max_batch/pipeline must be >= 0 (got %d/%d)", c.MaxBatch, c.Pipeline)
 	}
 	return nil
 }
@@ -162,6 +171,14 @@ type Spec struct {
 // the addresses are fixed — which is what lets a killed node restart on the
 // SAME address, the scenario E16 exists to measure.
 func Generate(dir string, n int, detector string, periodMS int) ([]Spec, error) {
+	return GenerateTuned(dir, n, detector, periodMS, 0, 0)
+}
+
+// GenerateTuned is Generate with explicit replicated-log throughput knobs:
+// maxBatch commands per slot and a pipeline-deep instance window (0 keeps
+// core's defaults; 1/1 is the unbatched, sequential baseline). E17's batch ×
+// pipeline cells are generated through this.
+func GenerateTuned(dir string, n int, detector string, periodMS, maxBatch, pipeline int) ([]Spec, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: n must be at least 1")
 	}
@@ -182,6 +199,8 @@ func Generate(dir string, n int, detector string, periodMS int) ([]Spec, error) 
 			ClientAddr: addrs[n+i],
 			Detector:   detector,
 			PeriodMS:   periodMS,
+			MaxBatch:   maxBatch,
+			Pipeline:   pipeline,
 		}
 		if err := cfg.Validate(); err != nil {
 			return nil, err

@@ -184,6 +184,7 @@ type LoadReport struct {
 	P50MS      float64  `json:"p50_ms"`
 	P95MS      float64  `json:"p95_ms"`
 	P99MS      float64  `json:"p99_ms"`
+	P999MS     float64  `json:"p999_ms"`
 	PerSecond  []int    `json:"per_second"` // committed ops per elapsed second
 }
 

@@ -10,10 +10,22 @@
 // costs one consensus round per slot, coordinated by the detector's stable
 // leader — no rotating through crashed or slow coordinators.
 //
+// Throughput comes from amortizing and overlapping that round:
+//
+//   - Batching: a slot carries a Batch of commands, not one command. Submit
+//     appends to a pending buffer; when a replica opens a slot for its own
+//     traffic it proposes the whole buffered prefix (capped by
+//     Config.MaxBatch / MaxBatchBytes), so one consensus round commits
+//     dozens of client operations.
+//   - Pipelining: a replica may keep up to Config.Pipeline consensus
+//     instances open at once — slot k+1 starts before slot k decides.
+//     Decisions arriving out of slot order are parked and applied strictly
+//     in slot order, so the state machine is unaffected.
+//
 // Slots are driven lazily: a replica with pending commands announces the
-// slot to the others (a "kick" carrying its first pending command), so idle
-// replicas join the instance proposing the kicker's command rather than a
-// no-op; consequently every decided slot carries a real command. Replicas
+// slot to the others (a "kick" carrying its proposed batch), so idle
+// replicas join the instance proposing the kicker's batch rather than a
+// no-op; consequently every decided slot carries real commands. Replicas
 // that learn a slot's outcome only from the decision broadcast (they were
 // busy elsewhere when the instance ran) fast-forward through it without
 // sending a message.
@@ -42,6 +54,9 @@ const (
 	KindFetch = "core.fetch"
 	// KindState answers a KindFetch with one chunk of decided entries.
 	KindState = "core.state"
+	// KindDone is the self-addressed wakeup an instance runner sends its
+	// replica's driver when a slot decides; it never crosses the network.
+	KindDone = "core.done"
 )
 
 // Command is one entry ordered by the log. Origin and Seq identify it
@@ -54,15 +69,19 @@ type Command struct {
 	Payload any
 }
 
-// noop is proposed only on fast-forward paths that never send; it is never
-// decided (see package comment) but guarded against in apply anyway.
-type noop struct{}
+// Batch is the value a log slot decides: the commands of one consensus
+// instance, applied in order. An empty batch is a no-op slot — proposed only
+// on fast-forward paths, applied as nothing.
+type Batch struct {
+	Cmds []Command
+}
 
-// Kick is the payload of slot announcements. Exported for transport
-// serialization (package tcpnet).
+// Kick is the payload of slot announcements: the announced slot and the
+// batch the announcer proposes for it. Exported for transport serialization
+// (package tcpnet).
 type Kick struct {
-	Slot int
-	Cmd  Command
+	Slot  int
+	Batch Batch
 }
 
 // Fetch is the payload of a state-transfer request: "send me your decided
@@ -76,7 +95,7 @@ type Fetch struct {
 type StateEntry struct {
 	Slot  int
 	Round int
-	Cmd   Command
+	Batch Batch
 }
 
 // State is one chunk of a state-transfer answer: the donor's contiguous
@@ -99,9 +118,25 @@ type Config struct {
 	// Consensus is the base for per-slot consensus options; Instance is
 	// used as a namespace prefix.
 	Consensus consensus.Options
-	// Apply is called on the replica's task for every decided command, in
-	// slot order. Optional.
+	// Apply is called on one of the replica's tasks for every decided
+	// command — never concurrently, always in slot order and, within a
+	// slot, in batch order. Optional.
 	Apply func(slot int, cmd Command)
+	// MaxBatch caps how many pending commands one slot proposal carries
+	// (default 64). 1 disables batching: one command per slot, the
+	// pre-batching behaviour.
+	MaxBatch int
+	// MaxBatchBytes caps the estimated payload bytes of one slot proposal
+	// (default 1 MiB). The estimate is exact for string and []byte
+	// payloads and a small constant otherwise; a batch always carries at
+	// least one command regardless of size.
+	MaxBatchBytes int
+	// Pipeline is how many consensus instances this replica may keep open
+	// at once (default 4): slot k+W-1 can start while slot k is still
+	// undecided. Decisions are applied strictly in slot order regardless.
+	// 1 disables pipelining: the next slot opens only after the previous
+	// applied, the pre-pipelining behaviour.
+	Pipeline int
 	// IdlePoll is how often an idle replica re-checks for work (default
 	// 2ms).
 	IdlePoll time.Duration
@@ -143,17 +178,24 @@ type Replica struct {
 	rb   *rbcast.Module
 
 	mu            sync.Mutex
-	pending       []Command
+	pending       []Command // submitted, not yet applied own commands
+	pendHead      int       // first live index of pending (amortized pop)
 	nextSeq       int64
 	decided       map[string]consensus.Decide // instance name -> decision
 	decidedHigh   int                         // highest log slot seen decided
 	applied       []AppliedEntry
 	appliedSeen   map[cmdKey]bool // (Origin, Seq) already applied
-	slot          int             // next slot this replica will work on
+	applyNext     int             // next slot to apply (first not-yet-applied)
+	nextOpen      int             // next slot this replica will open an instance for
+	inflightSlot  int             // slot the current own-batch proposal went to (0 = none)
+	inflight      []Command       // the commands of that proposal
+	kicks         map[int]Batch   // announced batches by slot, applyNext..; pruned on apply
+	kickHigh      int             // highest announced slot seen
 	transferStall int             // frontier at the last failed state transfer
 	kickKind      string          // KindKick, namespaced by the instance
 	fetchKind     string          // KindFetch, namespaced by the instance
 	stateKind     string          // KindState, namespaced by the instance
+	doneKind      string          // KindDone, namespaced by the instance
 	instPrefix    string          // instance-name prefix of log slots, for decidedHigh
 }
 
@@ -166,19 +208,21 @@ type cmdKey struct {
 // maxTransferChunk is the donor-side cap on entries per State reply.
 const maxTransferChunk = 4096
 
-// deferLag is how many slots behind the decided frontier a replica may be
-// while still accepting leadership. Below the threshold it is at most a
-// frontier-race behind (mirroring the responder's one-slot grace); at or
-// beyond it the replica defers coordination until its replay completes.
+// deferLag is how many slots behind the decided frontier a replica may be —
+// beyond its own pipeline window, which is legitimate in-flight work, not
+// lag — while still accepting leadership. Below the threshold it is at most
+// a frontier-race behind (mirroring the responder's grace); at or beyond it
+// the replica defers coordination until its replay completes.
 const deferLag = 3
 
-// transferLag is how many slots behind the apparent decided frontier a
+// transferLag is how many slots behind the estimated decided frontier a
 // replica must be before it engages batch state transfer. A transfer is a
-// blocking network round trip in the log hot path — and the frontier estimate
-// includes kick announcements, which under pipelined load routinely run a
-// slot or two ahead of a perfectly healthy replica — so small gaps stay on
+// blocking network round trip in the log hot path, so small gaps stay on
 // the cheap probe path and only a genuine straggler (restart, partition)
-// pays for a fetch.
+// pays for a fetch. The estimate already discounts pipelining: a kick for
+// slot k only proves slots up to k-Pipeline decided (the kicker may hold a
+// full window of undecided instances above that), so healthy replicas in
+// the middle of a deep pipeline are never mistaken for stragglers.
 const transferLag = 8
 
 // AppliedEntry is one applied log entry.
@@ -189,6 +233,15 @@ type AppliedEntry struct {
 
 // StartReplica attaches a replica to p's process and starts its tasks.
 func StartReplica(p dsys.Proc, cfg Config) *Replica {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxBatchBytes <= 0 {
+		cfg.MaxBatchBytes = 1 << 20
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 4
+	}
 	if cfg.IdlePoll <= 0 {
 		cfg.IdlePoll = 2 * time.Millisecond
 	}
@@ -204,11 +257,14 @@ func StartReplica(p dsys.Proc, cfg Config) *Replica {
 		det:         cfg.Detector,
 		decided:     make(map[string]consensus.Decide),
 		appliedSeen: make(map[cmdKey]bool),
+		kicks:       make(map[int]Batch),
 		nextSeq:     cfg.SeqBase,
-		slot:        1,
+		applyNext:   1,
+		nextOpen:    1,
 		kickKind:    KindKick,
 		fetchKind:   KindFetch,
 		stateKind:   KindState,
+		doneKind:    KindDone,
 		instPrefix:  cfg.Consensus.Instance + "/log/",
 	}
 	if cfg.Consensus.Instance != "" {
@@ -216,6 +272,7 @@ func StartReplica(p dsys.Proc, cfg Config) *Replica {
 		r.kickKind += suffix
 		r.fetchKind += suffix
 		r.stateKind += suffix
+		r.doneKind += suffix
 	}
 	if r.det == nil {
 		r.det = ring.Start(p, cfg.Ring)
@@ -231,16 +288,29 @@ func StartReplica(p dsys.Proc, cfg Config) *Replica {
 		ld.SetReadiness(r.caughtUp)
 	}
 	r.rb = rbcast.StartNamespaceInc(p, cfg.Consensus.Instance, cfg.Incarnation)
-	r.rb.OnDeliver(func(_ dsys.Proc, _ dsys.ProcessID, payload any) {
-		if dec, ok := payload.(consensus.Decide); ok {
-			r.mu.Lock()
-			if _, dup := r.decided[dec.Inst]; !dup {
-				r.decided[dec.Inst] = dec
-				if s := r.slotOf(dec.Inst); s > r.decidedHigh {
-					r.decidedHigh = s
-				}
+	r.rb.OnDeliver(func(dp dsys.Proc, _ dsys.ProcessID, payload any) {
+		dec, ok := payload.(consensus.Decide)
+		if !ok {
+			return
+		}
+		s := r.slotOf(dec.Inst)
+		if s == 0 {
+			return
+		}
+		r.mu.Lock()
+		_, dup := r.decided[dec.Inst]
+		if !dup {
+			r.decided[dec.Inst] = dec
+			if s > r.decidedHigh {
+				r.decidedHigh = s
 			}
-			r.mu.Unlock()
+		}
+		r.mu.Unlock()
+		// Wake the driver so a parked decision is applied (and the window
+		// slides) without waiting out an idle poll. Self-sends are local on
+		// every runtime (zero link delay, no transport).
+		if !dup {
+			dp.Send(dp.ID(), r.doneKind, s)
 		}
 	})
 	p.Spawn("core-log", r.logTask)
@@ -251,31 +321,33 @@ func StartReplica(p dsys.Proc, cfg Config) *Replica {
 
 // caughtUp reports whether this replica is close enough to the decided
 // frontier to coordinate consensus; it is the readiness predicate handed to
-// the detector's leadership-deferral hook.
+// the detector's leadership-deferral hook. The replica's own pipeline window
+// is in-flight work, not lag, so it does not count against readiness.
 func (r *Replica) caughtUp() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.decidedHigh-r.slot < deferLag
+	return r.decidedHigh-r.applyNext < deferLag+r.cfg.Pipeline-1
 }
 
 // responderTask is the replica's single shared answering service for
-// consensus messages its logTask is not (or no longer) listening for. It
-// plays two roles:
+// consensus messages none of its instance runners is (or will soon be)
+// listening for. It plays two roles:
 //
 //   - For slots already decided here it answers any late message with the
 //     decision, centralising what cec's per-instance responder would do —
 //     one everlasting task per slot would wake on every message arrival and
 //     make throughput decay with the log length (Options.NoResponder).
-//   - For slots more than one ahead of this replica's position it mirrors
-//     the reactive tasks of the paper's Fig. 4 (null estimates to
-//     coordinators, nacks to non-null propositions). Without that, a replica
-//     replaying its log after a restart would leave the frontier
-//     coordinator's "wait for every non-suspected process" rule hanging —
-//     the replica is alive and unsuspected but deaf to instances beyond its
-//     replay position — stalling the whole cluster for the catch-up's
-//     duration. (Exactly one ahead is excluded: the frontier coordinator
-//     announces slot k+1 while healthy peers still close out slot k, and
-//     those messages belong to the peers' own upcoming Propose calls.)
+//   - For slots beyond this replica's pipeline window it mirrors the
+//     reactive tasks of the paper's Fig. 4 (null estimates to coordinators,
+//     nacks to non-null propositions). Without that, a replica replaying its
+//     log after a restart would leave the frontier coordinator's "wait for
+//     every non-suspected process" rule hanging — the replica is alive and
+//     unsuspected but deaf to instances beyond its replay position —
+//     stalling the whole cluster for the catch-up's duration. Slots within
+//     applyNext+Pipeline are excluded: those belong to instances this
+//     replica is running now or will open next (a peer's window runs at
+//     most one frontier-race ahead of ours), and answering them would steal
+//     messages from our own Propose calls.
 func (r *Replica) responderTask(p dsys.Proc) {
 	match := dsys.MatchFunc(func(m *dsys.Message) bool {
 		if !strings.HasPrefix(m.Kind, "cec.") {
@@ -291,7 +363,7 @@ func (r *Replica) responderTask(p dsys.Proc) {
 		}
 		r.mu.Lock()
 		_, dec := r.decided[env.Inst]
-		ahead := s > r.slot+1
+		ahead := s > r.applyNext+r.cfg.Pipeline
 		r.mu.Unlock()
 		return dec || ahead
 	})
@@ -333,10 +405,10 @@ func (r *Replica) responderTask(p dsys.Proc) {
 
 // stateServerTask answers state-transfer requests: for each Fetch it sends
 // back one State chunk holding the contiguous decided prefix starting at the
-// requested slot (stopping at the first gap, a fast-forward no-op, or the
-// chunk limit) plus this replica's decided frontier. Serving is read-only
-// and independent of the logTask's position, so even a replica that is
-// itself replaying can donate the prefix it already has.
+// requested slot (stopping at the first gap or the chunk limit) plus this
+// replica's decided frontier. Serving is read-only and independent of the
+// driver's position, so even a replica that is itself replaying can donate
+// the prefix it already has.
 func (r *Replica) stateServerTask(p dsys.Proc) {
 	match := dsys.MatchKind(r.fetchKind)
 	for {
@@ -363,11 +435,11 @@ func (r *Replica) stateServerTask(p dsys.Proc) {
 			if !ok {
 				break
 			}
-			cmd, isCmd := dec.Value.(Command)
-			if !isCmd {
+			b, isBatch := dec.Value.(Batch)
+			if !isBatch {
 				break
 			}
-			resp.Entries = append(resp.Entries, StateEntry{Slot: s, Round: dec.Round, Cmd: cmd})
+			resp.Entries = append(resp.Entries, StateEntry{Slot: s, Round: dec.Round, Batch: b})
 		}
 		r.mu.Unlock()
 		p.Send(m.From, r.stateKind, resp)
@@ -387,7 +459,7 @@ func (r *Replica) installState(st State) int {
 		if _, dup := r.decided[inst]; dup {
 			continue
 		}
-		r.decided[inst] = consensus.Decide{Inst: inst, Round: e.Round, Value: e.Cmd}
+		r.decided[inst] = consensus.Decide{Inst: inst, Round: e.Round, Value: e.Batch}
 		if e.Slot > r.decidedHigh {
 			r.decidedHigh = e.Slot
 		}
@@ -445,7 +517,7 @@ func (r *Replica) stateTransfer(p dsys.Proc, slot int) bool {
 		for {
 			next, high := r.nextGap(slot)
 			if installed && next > high {
-				return true // every known slot fetched; the logTask takes over
+				return true // every known slot fetched; the driver takes over
 			}
 			p.Send(donor, r.fetchKind, Fetch{From: next, Limit: r.cfg.TransferChunk})
 			m, ok := p.RecvTimeout(match, r.cfg.TransferTimeout)
@@ -471,8 +543,8 @@ func (r *Replica) stateTransfer(p dsys.Proc, slot int) bool {
 func (r *Replica) Detector() fd.EventuallyConsistent { return r.det }
 
 // Submit enqueues a command payload for ordering and returns its identity.
-// It may be called from any task of the replica's process and returns
-// immediately; the command is applied everywhere once ordered.
+// It may be called from any task or goroutine of the replica's process and
+// returns immediately; the command is applied everywhere once ordered.
 func (r *Replica) Submit(payload any) Command {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -482,11 +554,11 @@ func (r *Replica) Submit(payload any) Command {
 	return cmd
 }
 
-// PendingCount returns the number of submitted-but-unordered commands.
+// PendingCount returns the number of submitted-but-unapplied commands.
 func (r *Replica) PendingCount() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.pending)
+	return len(r.pending) - r.pendHead
 }
 
 // Applied returns the applied (slot, command) records so far, in order.
@@ -534,32 +606,272 @@ func (r *Replica) lookupDecided(slot int) (any, int, bool) {
 	return nil, 0, false
 }
 
+// noteKick records a slot announcement: the batch (so an idle replica can
+// propose the kicker's commands at that slot) and the high-water mark (a
+// frontier hint for behind-detection and state transfer).
+func (r *Replica) noteKick(k Kick) {
+	r.mu.Lock()
+	if k.Slot > r.kickHigh {
+		r.kickHigh = k.Slot
+	}
+	if k.Slot >= r.applyNext {
+		if _, dup := r.kicks[k.Slot]; !dup {
+			r.kicks[k.Slot] = k.Batch
+		}
+	}
+	r.mu.Unlock()
+}
+
+// payloadSize estimates a command payload's wire weight for MaxBatchBytes:
+// exact for the common string/[]byte cases, a small constant otherwise.
+func payloadSize(v any) int {
+	switch s := v.(type) {
+	case string:
+		return len(s) + 16
+	case []byte:
+		return len(s) + 16
+	default:
+		return 32
+	}
+}
+
+// takeChunkLocked builds this replica's next own-batch proposal from the
+// head of the pending buffer (bounded by MaxBatch / MaxBatchBytes) and marks
+// it in flight at slot s. Chunks are always contiguous head prefixes and at
+// most one own chunk is in flight at a time; together with strict slot-order
+// apply that is what preserves per-origin FIFO (see drainApplies).
+func (r *Replica) takeChunkLocked(s int) Batch {
+	n := len(r.pending) - r.pendHead
+	if n > r.cfg.MaxBatch {
+		n = r.cfg.MaxBatch
+	}
+	cmds := make([]Command, 0, n)
+	bytes := 0
+	for i := r.pendHead; i < len(r.pending) && len(cmds) < r.cfg.MaxBatch; i++ {
+		c := r.pending[i]
+		bytes += payloadSize(c.Payload)
+		if len(cmds) > 0 && bytes > r.cfg.MaxBatchBytes {
+			break
+		}
+		cmds = append(cmds, c)
+	}
+	r.inflightSlot, r.inflight = s, cmds
+	return Batch{Cmds: cmds}
+}
+
+// dropPendingLocked removes one applied own command from the pending buffer.
+// Applied own commands always form a prefix of the submit order (chunks are
+// head prefixes and batches apply in order), so this is an O(1) head pop in
+// practice; the scan is a safety net.
+func (r *Replica) dropPendingLocked(seq int64) {
+	for i := r.pendHead; i < len(r.pending); i++ {
+		if r.pending[i].Seq != seq {
+			continue
+		}
+		if i == r.pendHead {
+			r.pending[i] = Command{}
+			r.pendHead++
+		} else {
+			copy(r.pending[i:], r.pending[i+1:])
+			r.pending[len(r.pending)-1] = Command{}
+			r.pending = r.pending[:len(r.pending)-1]
+		}
+		break
+	}
+	// Amortized compaction keeps the buffer from retaining applied prefixes.
+	if r.pendHead > 256 && r.pendHead*2 >= len(r.pending) {
+		n := copy(r.pending, r.pending[r.pendHead:])
+		clear(r.pending[n:])
+		r.pending = r.pending[:n]
+		r.pendHead = 0
+	}
+}
+
+// drainApplies applies every contiguously decided slot from applyNext on, in
+// strict slot order — decisions that arrived out of order sit parked in the
+// decided map until the slots below them land. Only the driver task calls
+// this, so Apply callbacks are never concurrent. Completing a slot releases
+// the own-batch in-flight marker (also when a peer adopted our kicked batch
+// and it was decided — and applied — at some other slot) and prunes the
+// kick buffer.
+func (r *Replica) drainApplies() {
+	r.mu.Lock()
+	for {
+		dec, ok := r.decided[r.instance(r.applyNext)]
+		if !ok {
+			break
+		}
+		slot := r.applyNext
+		batch, _ := dec.Value.(Batch)
+		for _, cmd := range batch.Cmds {
+			// Apply each (Origin, Seq) at most once. The same command can be
+			// decided in two slots: a replica idle at slot j that received a
+			// kick announcing a batch for slot k>j proposes it at j, while
+			// the kicker proposes it at k, and both instances can decide it.
+			key := cmdKey{cmd.Origin, cmd.Seq}
+			if !r.appliedSeen[key] {
+				r.appliedSeen[key] = true
+				r.applied = append(r.applied, AppliedEntry{Slot: slot, Cmd: cmd})
+				if apply := r.cfg.Apply; apply != nil {
+					r.mu.Unlock()
+					apply(slot, cmd)
+					r.mu.Lock()
+				}
+			}
+			if cmd.Origin == r.self {
+				r.dropPendingLocked(cmd.Seq)
+			}
+		}
+		delete(r.kicks, slot)
+		r.applyNext = slot + 1
+		if r.nextOpen < r.applyNext {
+			r.nextOpen = r.applyNext
+		}
+		if r.inflightSlot != 0 && r.applyNext > r.inflightSlot {
+			r.inflightSlot, r.inflight = 0, nil
+		}
+	}
+	// Early release: the in-flight chunk may have been fully applied below
+	// its slot (a peer adopted our kick at a lower slot); holding the marker
+	// until inflightSlot itself applies would stall fresh own proposals.
+	if r.inflightSlot != 0 {
+		all := true
+		for _, cmd := range r.inflight {
+			if !r.appliedSeen[cmdKey{cmd.Origin, cmd.Seq}] {
+				all = false
+				break
+			}
+		}
+		if all {
+			r.inflightSlot, r.inflight = 0, nil
+		}
+	}
+	r.mu.Unlock()
+}
+
+// openNext opens a consensus instance for the next slot if the pipeline
+// window has room and there is a reason to run it: our own pending commands
+// (at most one own batch in flight), a kick from another replica, or a
+// decided frontier beyond the slot (the decision exists somewhere — go get
+// it). It reports whether it advanced, so the driver loops until the window
+// is full or there is nothing to do.
+func (r *Replica) openNext(p dsys.Proc) bool {
+	r.mu.Lock()
+	pipe := r.cfg.Pipeline
+	s := r.nextOpen
+	if s >= r.applyNext+pipe {
+		r.mu.Unlock()
+		return false // window full: wait for applyNext to advance
+	}
+	if _, ok := r.decided[r.instance(s)]; ok {
+		// Already decided (out-of-order arrival or installed state): no
+		// instance to run — drainApplies will consume it once contiguous.
+		r.nextOpen = s + 1
+		r.mu.Unlock()
+		return true
+	}
+	var prop Batch
+	own := false
+	kicked, hasKick := r.kicks[s]
+	switch {
+	case r.pendHead < len(r.pending) && r.inflightSlot == 0:
+		prop = r.takeChunkLocked(s)
+		own = true
+	case hasKick:
+		prop = kicked
+	case r.kickHigh >= s:
+		// A later slot was announced but this one's kick was lost or pruned:
+		// join with the latest announced batch (deduplicated on apply).
+		prop = r.kicks[r.kickHigh]
+	case r.decidedHigh > s:
+		prop = Batch{} // fast-forward: probe for the existing decision
+	default:
+		r.mu.Unlock()
+		return false // nothing to do at this slot yet
+	}
+	// Aggressive probing only when the slot is provably decided somewhere:
+	// signals at or beyond one pipeline window (a kicker at s+Pipeline must
+	// have applied s; likewise whoever opened the decided slot s+Pipeline).
+	// Anything closer is ordinary in-flight pipelining, not lag.
+	behind := r.decidedHigh >= s+pipe || r.kickHigh >= s+pipe
+	r.nextOpen = s + 1
+	r.mu.Unlock()
+
+	if own {
+		// Announce the slot so idle replicas join it proposing our batch.
+		for _, q := range p.All() {
+			if q != r.self {
+				p.Send(q, r.kickKind, Kick{Slot: s, Batch: prop})
+			}
+		}
+	}
+	p.Spawn("core-inst", func(p dsys.Proc) { r.runInstance(p, s, prop, behind) })
+	return true
+}
+
+// runInstance is one slot's consensus instance, run on its own short-lived
+// task so the driver can keep up to Pipeline of them open at once. It
+// records the decision and wakes the driver; the driver applies.
+func (r *Replica) runInstance(p dsys.Proc, slot int, prop Batch, behind bool) {
+	opt := r.cfg.Consensus
+	opt.Instance = r.instance(slot)
+	opt.PreDecided = func() (any, int, bool) { return r.lookupDecided(slot) }
+	if behind {
+		// This slot is already decided somewhere: probe for the decision
+		// after one short idle poll rather than sitting out the full idle
+		// threshold. This is what makes a restarted replica's log replay
+		// take a millisecond or two per slot, not hundreds of them — and
+		// what lets it outrun a frontier that keeps deciding new slots
+		// while it replays.
+		opt.ProbeAfter = 1
+		if opt.Poll <= 0 || opt.Poll > 500*time.Microsecond {
+			opt.Poll = 500 * time.Microsecond
+		}
+	}
+	// The replica's shared responderTask answers stragglers for every
+	// decided slot; per-instance responders would accumulate one task per
+	// slot forever.
+	opt.NoResponder = true
+	res := cec.Propose(p, r.det, r.rb, prop, opt)
+
+	r.mu.Lock()
+	// Record the decision (Propose may have learned it from a probe answer
+	// rather than the decide broadcast) so the responderTask can serve this
+	// slot and decidedHigh reflects our own frontier.
+	if _, dup := r.decided[opt.Instance]; !dup {
+		r.decided[opt.Instance] = consensus.Decide{Inst: opt.Instance, Round: res.Round, Value: res.Value}
+	}
+	if slot > r.decidedHigh {
+		r.decidedHigh = slot
+	}
+	r.mu.Unlock()
+	p.Send(p.ID(), r.doneKind, slot) // wake the driver to apply + refill
+}
+
+// logTask is the replica's driver: it drains announcements, keeps the
+// pipeline window of instance runners filled, applies parked decisions in
+// slot order, and engages batch state transfer when genuinely behind.
 func (r *Replica) logTask(p dsys.Proc) {
-	var kickHigh int
-	var kickCmd Command
 	matchKick := dsys.MatchKind(r.kickKind)
 	matchState := dsys.MatchKind(r.stateKind)
+	matchDone := dsys.MatchKind(r.doneKind)
+	kk, sk, dk := r.kickKind, r.stateKind, r.doneKind
+	matchWake := dsys.MatchFunc(func(m *dsys.Message) bool {
+		return m.Kind == kk || m.Kind == sk || m.Kind == dk
+	})
 	for {
-		slot := r.slot
-
-		// Drain queued kicks first, even when this slot is ready to run.
-		// Kicks left in the mailbox are never consumed by anything else, and
-		// a buffered message that no receiver takes pins the mailbox head —
-		// every later receive scans past it, so a busy replica would slow
-		// down in proportion to how long it has been busy. Stray State
-		// chunks (late answers from an abandoned transfer donor) are drained
-		// for the same reason; their decisions are facts, so installing them
-		// is always right.
+		// Drain queued kicks, state chunks and wakeups first. Buffered
+		// messages no receiver takes pin the mailbox head — every later
+		// receive scans past them — so a busy replica would slow down in
+		// proportion to how long it has been busy. Stray State chunks (late
+		// answers from an abandoned transfer donor) carry decisions, which
+		// are facts: installing them is always right.
 		for {
 			m, ok := p.RecvTimeout(matchKick, 0)
 			if !ok {
 				break
 			}
-			k := m.Payload.(Kick)
-			if k.Slot > kickHigh {
-				kickHigh = k.Slot
-				kickCmd = k.Cmd
-			}
+			r.noteKick(m.Payload.(Kick))
 		}
 		for {
 			m, ok := p.RecvTimeout(matchState, 0)
@@ -568,52 +880,34 @@ func (r *Replica) logTask(p dsys.Proc) {
 			}
 			r.installState(m.Payload.(State))
 		}
-
-		// Wait for a reason to run this slot: a pending command of our own,
-		// a kick from another replica, an already-known decision, or a
-		// decided frontier beyond this slot (the decision for this slot
-		// exists somewhere — go get it).
 		for {
-			if _, _, ok := r.lookupDecided(slot); ok {
+			if _, ok := p.RecvTimeout(matchDone, 0); !ok {
 				break
-			}
-			r.mu.Lock()
-			hasPending := len(r.pending) > 0
-			behindNow := r.decidedHigh > slot
-			r.mu.Unlock()
-			if hasPending || behindNow || kickHigh >= slot {
-				break
-			}
-			if m, ok := p.RecvTimeout(matchKick, r.cfg.IdlePoll); ok {
-				k := m.Payload.(Kick)
-				if k.Slot > kickHigh {
-					kickHigh = k.Slot
-					kickCmd = k.Cmd
-				}
 			}
 		}
 
-		// Batch catch-up: when the decided frontier is well past this slot
-		// (we restarted, or missed decisions while partitioned away), fetch
-		// the whole decided range from a peer in a few round trips instead of
-		// replaying it one consensus probe per slot. A kick for slot k
-		// implies slots below k are decided, so it reveals the frontier even
-		// when the decide broadcasts themselves were missed — but it is an
-		// announcement, not a decision, so transferLag keeps frontier races
-		// from dragging healthy replicas into blocking fetches. After a
-		// transfer that made no progress, don't retry until the frontier
-		// moves again (the per-slot probe path below remains the fallback).
+		// Batch catch-up: when the decided frontier is well past our first
+		// gap (we restarted, or missed decisions while partitioned away),
+		// fetch the whole decided range from a peer in a few round trips
+		// instead of replaying it one consensus probe per slot. A kick for
+		// slot k proves slots up to k-Pipeline decided (the kicker holds at
+		// most a window of undecided instances), so announcements reveal the
+		// frontier even when the decide broadcasts themselves were missed —
+		// discounted by the window so a healthy pipelined replica is never
+		// dragged into a blocking fetch. After a transfer that made no
+		// progress, don't retry until the frontier moves again (the per-slot
+		// probe path remains the fallback).
 		if !r.cfg.NoStateTransfer {
 			r.mu.Lock()
 			frontier := r.decidedHigh
-			if kickHigh-1 > frontier {
-				frontier = kickHigh - 1
+			if kf := r.kickHigh - r.cfg.Pipeline; kf > frontier {
+				frontier = kf
 			}
-			_, known := r.decided[r.instance(slot)]
 			stalled := frontier <= r.transferStall
 			r.mu.Unlock()
-			if !known && frontier-slot >= transferLag && !stalled {
-				if !r.stateTransfer(p, slot) {
+			gap, _ := r.nextGap(r.applyNextNow())
+			if frontier-gap >= transferLag && !stalled {
+				if !r.stateTransfer(p, gap) {
 					r.mu.Lock()
 					if frontier > r.transferStall {
 						r.transferStall = frontier
@@ -623,97 +917,27 @@ func (r *Replica) logTask(p dsys.Proc) {
 			}
 		}
 
-		// Choose our proposal: our own first pending command; else the
-		// kicker's command; else (fast-forward only) a no-op.
-		r.mu.Lock()
-		var prop Command
-		switch {
-		case len(r.pending) > 0:
-			prop = r.pending[0]
-		case kickHigh >= slot:
-			prop = kickCmd
-		default:
-			prop = Command{Origin: r.self, Payload: noop{}}
-		}
-		ownProposal := len(r.pending) > 0
-		_, slotDecided := r.decided[r.instance(slot)]
-		r.mu.Unlock()
-
-		if ownProposal && !slotDecided {
-			// Announce the slot so idle replicas join it with our command.
-			// (Not when its decision is already known — then Propose below
-			// fast-forwards without an instance, and a replica replaying a
-			// long decided range would otherwise spray one announcement
-			// burst per replayed slot.)
-			for _, q := range p.All() {
-				if q != r.self {
-					p.Send(q, r.kickKind, Kick{Slot: slot, Cmd: prop})
-				}
-			}
+		r.drainApplies()
+		for r.openNext(p) {
 		}
 
-		opt := r.cfg.Consensus
-		opt.Instance = r.instance(slot)
-		opt.PreDecided = func() (any, int, bool) { return r.lookupDecided(slot) }
-		r.mu.Lock()
-		behind := kickHigh > slot || r.decidedHigh > slot
-		r.mu.Unlock()
-		if behind {
-			// This slot is already decided somewhere (a later slot exists):
-			// probe for the decision after one short idle poll rather than
-			// sitting out the full idle threshold per slot. This is what
-			// makes a restarted replica's log replay take a millisecond or
-			// two per slot, not hundreds of them — and what lets it outrun a
-			// frontier that keeps deciding new slots while it replays.
-			opt.ProbeAfter = 1
-			if opt.Poll <= 0 || opt.Poll > 500*time.Microsecond {
-				opt.Poll = 500 * time.Microsecond
+		// Wait for a reason to do more: a slot announcement, a state chunk,
+		// or a runner/broadcast wakeup; re-check pending via the idle poll
+		// (Submit is a plain buffer append from any task or goroutine).
+		if m, ok := p.RecvTimeout(matchWake, r.cfg.IdlePoll); ok {
+			switch m.Kind {
+			case kk:
+				r.noteKick(m.Payload.(Kick))
+			case sk:
+				r.installState(m.Payload.(State))
 			}
 		}
-		// The replica's shared responderTask answers stragglers for every
-		// decided slot; per-instance responders would accumulate one task per
-		// slot forever.
-		opt.NoResponder = true
-		res := cec.Propose(p, r.det, r.rb, prop, opt)
-
-		cmd, isCmd := res.Value.(Command)
-		r.mu.Lock()
-		// Record the decision (Propose may have learned it from a probe
-		// answer rather than the decide broadcast) so the responderTask can
-		// serve this slot and decidedHigh reflects our own frontier.
-		if _, dup := r.decided[opt.Instance]; !dup {
-			r.decided[opt.Instance] = consensus.Decide{Inst: opt.Instance, Round: res.Round, Value: res.Value}
-		}
-		if slot > r.decidedHigh {
-			r.decidedHigh = slot
-		}
-		if isCmd {
-			if _, isNoop := cmd.Payload.(noop); !isNoop {
-				// Apply each (Origin, Seq) at most once. The same command
-				// can be decided in two slots: a replica idle at slot j that
-				// received a kick announcing it for slot k>j proposes it at
-				// j, while the kicker proposes it at k, and both instances
-				// can decide it.
-				if key := (cmdKey{cmd.Origin, cmd.Seq}); !r.appliedSeen[key] {
-					r.appliedSeen[key] = true
-					r.applied = append(r.applied, AppliedEntry{Slot: slot, Cmd: cmd})
-					if r.cfg.Apply != nil {
-						apply := r.cfg.Apply
-						r.mu.Unlock()
-						apply(slot, cmd)
-						r.mu.Lock()
-					}
-				}
-			}
-			// Drop the decided command from our queue if it was ours.
-			for i, pc := range r.pending {
-				if pc.Origin == cmd.Origin && pc.Seq == cmd.Seq {
-					r.pending = append(r.pending[:i], r.pending[i+1:]...)
-					break
-				}
-			}
-		}
-		r.slot = slot + 1
-		r.mu.Unlock()
 	}
+}
+
+// applyNextNow returns the current apply frontier.
+func (r *Replica) applyNextNow() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applyNext
 }

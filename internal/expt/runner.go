@@ -94,7 +94,7 @@ func runTrials[R any](n int, trial func(i int) R) []R {
 
 // Experiment is one entry of the suite registry.
 type Experiment struct {
-	// ID is the experiment identifier ("E1".."E16").
+	// ID is the experiment identifier ("E1".."E17").
 	ID string
 	// Fn runs the experiment (quick mode reduces sweeps).
 	Fn func(quick bool) (*Table, error)
@@ -123,6 +123,7 @@ func Experiments() []Experiment {
 		{ID: "E14", Fn: E14ScalingSweep, WallClock: true},
 		{ID: "E15", Fn: E15LiveThroughput, WallClock: true},
 		{ID: "E16", Fn: E16ClusterKillRestart, WallClock: true},
+		{ID: "E17", Fn: E17PipelineThroughput, WallClock: true},
 	}
 }
 

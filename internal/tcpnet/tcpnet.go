@@ -82,6 +82,7 @@ func init() {
 	wire.RegisterGob(mrc.LdrInfo{})
 	wire.RegisterGob(core.Kick{})
 	wire.RegisterGob(core.Command{})
+	wire.RegisterGob(core.Batch{})
 	wire.RegisterGob(core.Fetch{})
 	wire.RegisterGob(core.State{})
 	wire.RegisterGob([]dsys.ProcessID(nil))

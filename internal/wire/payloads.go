@@ -82,15 +82,16 @@ func init() {
 	Register(core.Command{},
 		func(e *Encoder, v any) { encCommand(e, v.(core.Command)) },
 		func(d *Decoder) any { return decCommand(d) })
-	// Slot announcement (embeds a Command; encoded inline, no nested tag).
+	// Slot announcement (embeds the announced Batch; encoded inline, no
+	// nested tag).
 	Register(core.Kick{},
 		func(e *Encoder, v any) {
 			m := v.(core.Kick)
 			e.Varint(int64(m.Slot))
-			encCommand(e, m.Cmd)
+			encBatch(e, m.Batch)
 		},
 		func(d *Decoder) any {
-			return core.Kick{Slot: d.Int(), Cmd: decCommand(d)}
+			return core.Kick{Slot: d.Int(), Batch: decBatch(d)}
 		})
 	// State-transfer request (decided-range fetch).
 	Register(core.Fetch{},
@@ -115,7 +116,7 @@ func init() {
 			for _, en := range m.Entries {
 				e.Varint(int64(en.Slot))
 				e.Varint(int64(en.Round))
-				encCommand(e, en.Cmd)
+				encBatch(e, en.Batch)
 			}
 		},
 		func(d *Decoder) any {
@@ -128,11 +129,18 @@ func init() {
 				st.Entries = append(st.Entries, core.StateEntry{
 					Slot:  d.Int(),
 					Round: d.Int(),
-					Cmd:   decCommand(d),
+					Batch: decBatch(d),
 				})
 			}
 			return st
 		})
+	// Command batch: the value a log slot decides — it rides inside
+	// consensus.Msg.Est / consensus.Decide.Value on every instance message,
+	// so it gets the fast lane too. Appended after the PR-7 types to keep
+	// earlier wire ids stable.
+	Register(core.Batch{},
+		func(e *Encoder, v any) { encBatch(e, v.(core.Batch)) },
+		func(d *Decoder) any { return decBatch(d) })
 }
 
 func encCommand(e *Encoder, c core.Command) {
@@ -143,4 +151,26 @@ func encCommand(e *Encoder, c core.Command) {
 
 func decCommand(d *Decoder) core.Command {
 	return core.Command{Origin: d.PID(), Seq: d.Varint(), Payload: d.Value()}
+}
+
+// encBatch/decBatch encode a slot's command batch inline (no nested tags);
+// the count is bounded by sliceCap so a hostile frame cannot force a huge
+// allocation.
+func encBatch(e *Encoder, b core.Batch) {
+	e.Uvarint(uint64(len(b.Cmds)))
+	for _, c := range b.Cmds {
+		encCommand(e, c)
+	}
+}
+
+func decBatch(d *Decoder) core.Batch {
+	n, ok := d.sliceCap(d.Uvarint())
+	if !ok || n == 0 {
+		return core.Batch{}
+	}
+	var b core.Batch
+	for i := 0; i < n && d.Err() == nil; i++ {
+		b.Cmds = append(b.Cmds, decCommand(d))
+	}
+	return b
 }

@@ -65,14 +65,31 @@ func testFrames() []Frame {
 		{From: 1, To: 3, Kind: "cons.p2", Payload: consensus.Msg{Inst: "x", Round: 1, Null: true}},
 		{From: 1, To: 3, Kind: "cons.p1", Payload: consensus.Msg{Inst: "x", Round: 1, Est: mrc.LdrInfo{Leader: 2, Est: 11}}},
 		{From: 5, To: 1, Kind: "rb.msg", Payload: rbcast.Wire{Origin: 5, Seq: 17, Payload: consensus.Decide{Inst: "i", Round: 2, Value: "v"}}},
-		{From: 5, To: 1, Kind: "core.kick", Payload: core.Kick{Slot: 9, Cmd: core.Command{Origin: 2, Seq: 3, Payload: "cmd"}}},
+		{From: 5, To: 1, Kind: "core.kick", Payload: core.Kick{Slot: 9, Batch: core.Batch{Cmds: []core.Command{{Origin: 2, Seq: 3, Payload: "cmd"}}}}},
+		{From: 5, To: 1, Kind: "core.kick", Payload: core.Kick{Slot: 12, Batch: core.Batch{Cmds: []core.Command{
+			{Origin: 2, Seq: 4, Payload: "m1"},
+			{Origin: 2, Seq: 5, Payload: []byte{9, 8}},
+			{Origin: 2, Seq: 6, Payload: nil},
+		}}}},
 		{From: 5, To: 1, Kind: "cmd", Payload: core.Command{Origin: 1, Seq: 1, Payload: nil}},
 		{From: 5, To: 1, Kind: "cmd", Payload: core.Command{Origin: 3, Seq: 1754521953131866112, Payload: "wide-seq"}},
+		{From: 4, To: 1, Kind: "batch", Payload: core.Batch{}}, // empty no-op slot value
+		{From: 4, To: 1, Kind: "batch", Payload: core.Batch{Cmds: []core.Command{
+			{Origin: 1, Seq: 7, Payload: "x"},
+			{Origin: 4, Seq: 1 << 41, Payload: "y"},
+		}}},
+		{From: 5, To: 1, Kind: "rb.msg", Payload: rbcast.Wire{Origin: 2, Inc: 3, Seq: 9, Payload: consensus.Decide{
+			Inst: "log/7", Round: 1, Value: core.Batch{Cmds: []core.Command{{Origin: 2, Seq: 8, Payload: "in-decide"}}},
+		}}},
 		{From: 3, To: 2, Kind: "core.fetch", Payload: core.Fetch{From: 17, Limit: 256}},
 		{From: 2, To: 3, Kind: "core.state", Payload: core.State{From: 17, High: 19}},
 		{From: 2, To: 3, Kind: "core.state", Payload: core.State{From: 17, High: 19, Entries: []core.StateEntry{
-			{Slot: 17, Round: 1, Cmd: core.Command{Origin: 1, Seq: 4, Payload: "a"}},
-			{Slot: 18, Round: 2, Cmd: core.Command{Origin: 2, Seq: 1 << 40, Payload: "b"}},
+			{Slot: 17, Round: 1, Batch: core.Batch{Cmds: []core.Command{{Origin: 1, Seq: 4, Payload: "a"}}}},
+			{Slot: 18, Round: 2, Batch: core.Batch{Cmds: []core.Command{
+				{Origin: 2, Seq: 1 << 40, Payload: "b"},
+				{Origin: 3, Seq: 2, Payload: "c"},
+			}}},
+			{Slot: 19, Round: 1, Batch: core.Batch{}},
 		}}},
 		{From: 1, To: 2, Kind: "gob", Payload: map[string]int{"a": 1}}, // fallback lane
 	}
@@ -93,7 +110,7 @@ func TestRegisteredLaneUsed(t *testing.T) {
 	for _, v := range []any{
 		&omega.BeatPayload{}, consensus.Msg{}, consensus.Decide{},
 		rbcast.Wire{}, mrc.LdrInfo{}, core.Command{}, core.Kick{},
-		core.Fetch{}, core.State{},
+		core.Fetch{}, core.State{}, core.Batch{},
 	} {
 		if !Registered(v) {
 			t.Errorf("%T not in the registered fast lane", v)
