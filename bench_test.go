@@ -442,6 +442,13 @@ func BenchmarkE17PipelineThroughput(b *testing.B) {
 	runExperiment(b, expt.E17PipelineThroughput)
 }
 
+// BenchmarkE18ScenarioMatrix regenerates the E18 table (quick mode: the
+// gated sim scenario slice × 3 detectors, both live UDP rows, and the
+// mixed-transport ecnode kill/restart phase).
+func BenchmarkE18ScenarioMatrix(b *testing.B) {
+	runExperiment(b, expt.E18ScenarioMatrix)
+}
+
 // BenchmarkRingDetectorSteadyState measures simulator throughput on the ring
 // detector's steady state — a substrate-level performance benchmark.
 func BenchmarkRingDetectorSteadyState(b *testing.B) {

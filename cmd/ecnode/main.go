@@ -17,8 +17,16 @@
 //	  "client_addr": "127.0.0.1:7201",
 //	  "detector": "ring",          // or "heartbeat"
 //	  "role": "replica",           // or "monitor" (detector only)
+//	  "heartbeat_transport": "tcp", // or "udp": detector beats as datagrams
 //	  "period_ms": 10
 //	}
+//
+// With "heartbeat_transport": "udp" the node binds a datagram socket on the
+// same host:port as its TCP mesh listener (the port spaces are disjoint) and
+// routes only the detector's periodic kinds over it; consensus, broadcast
+// and log transfer stay on TCP. Lost heartbeats are then genuinely lost —
+// the fair-lossy model the paper's detectors assume — instead of being
+// retransmitted behind the detector's back.
 //
 // The client protocol is newline-delimited JSON (internal/cluster.Request/
 // Response): {"op":"propose","value":"..."} blocks until the value commits
@@ -52,6 +60,7 @@ import (
 	"repro/internal/fd/heartbeat"
 	"repro/internal/fd/ring"
 	"repro/internal/tcpnet"
+	"repro/internal/udpnet"
 )
 
 // proposeWait bounds how long a propose request may wait for its commit
@@ -83,6 +92,7 @@ func main() {
 type node struct {
 	cfg   cluster.NodeConfig
 	start time.Time
+	udp   *udpnet.Transport // nil unless heartbeat_transport is "udp"
 
 	mu      sync.Mutex
 	det     fd.EventuallyConsistent
@@ -90,14 +100,46 @@ type node struct {
 	waiters map[int64]chan int // pending proposals: seq -> committed slot
 }
 
+// detectorKinds lists the message kinds the configured detector emits
+// periodically — the loss-tolerant traffic that may ride a datagram
+// transport. Everything else (consensus, broadcast, log transfer) needs
+// reliable delivery and stays on TCP.
+func detectorKinds(detector string) []string {
+	if detector == cluster.DetectorHeartbeat {
+		return []string{heartbeat.KindAlive}
+	}
+	return []string{ring.KindBeat, ring.KindWatch}
+}
+
 func run(cfg cluster.NodeConfig) error {
-	mesh, err := tcpnet.New(tcpnet.Config{
+	meshCfg := tcpnet.Config{
 		N:     cfg.N,
 		Self:  cfg.Self(),
 		Bind:  cfg.MeshAddr(),
 		Peers: cfg.PeerAddrs(),
-	})
+	}
+	var udp *udpnet.Transport
+	if cfg.HeartbeatTransport == cluster.TransportUDP {
+		// The datagram socket binds the same host:port as the TCP listener —
+		// the port spaces are disjoint, so one address book serves both.
+		var err error
+		udp, err = udpnet.NewTransport(udpnet.Config{
+			N:     cfg.N,
+			Self:  cfg.Self(),
+			Bind:  cfg.MeshAddr(),
+			Peers: cfg.PeerAddrs(),
+		})
+		if err != nil {
+			return fmt.Errorf("udp transport: %w", err)
+		}
+		meshCfg.Datagram = udp
+		meshCfg.DatagramKinds = detectorKinds(cfg.Detector)
+	}
+	mesh, err := tcpnet.New(meshCfg)
 	if err != nil {
+		if udp != nil {
+			udp.Stop()
+		}
 		return err
 	}
 	defer mesh.Stop()
@@ -107,7 +149,7 @@ func run(cfg cluster.NodeConfig) error {
 	}
 	defer ln.Close()
 
-	nd := &node{cfg: cfg, start: time.Now(), waiters: make(map[int64]chan int)}
+	nd := &node{cfg: cfg, start: time.Now(), udp: udp, waiters: make(map[int64]chan int)}
 	ready := make(chan struct{})
 	mesh.Spawn(cfg.Self(), "node", func(p dsys.Proc) {
 		period := time.Duration(cfg.PeriodMS) * time.Millisecond
@@ -152,8 +194,8 @@ func run(cfg cluster.NodeConfig) error {
 	})
 	<-ready
 	go acceptClients(ln, nd)
-	fmt.Printf("ecnode %v: mesh on %s, clients on %s, detector=%s role=%s n=%d\n",
-		cfg.Self(), mesh.Addr(cfg.Self()), cfg.ClientAddr, cfg.Detector, cfg.Role, cfg.N)
+	fmt.Printf("ecnode %v: mesh on %s, clients on %s, detector=%s role=%s transport=%s n=%d\n",
+		cfg.Self(), mesh.Addr(cfg.Self()), cfg.ClientAddr, cfg.Detector, cfg.Role, cfg.HeartbeatTransport, cfg.N)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -256,13 +298,18 @@ func (n *node) status() cluster.Response {
 	det, rep := n.det, n.rep
 	n.mu.Unlock()
 	resp := cluster.Response{
-		OK:       true,
-		ID:       n.cfg.ID,
-		N:        n.cfg.N,
-		Role:     n.cfg.Role,
-		Detector: n.cfg.Detector,
-		Leader:   int(det.Trusted()),
-		UptimeMS: time.Since(n.start).Milliseconds(),
+		OK:        true,
+		ID:        n.cfg.ID,
+		N:         n.cfg.N,
+		Role:      n.cfg.Role,
+		Detector:  n.cfg.Detector,
+		Leader:    int(det.Trusted()),
+		UptimeMS:  time.Since(n.start).Milliseconds(),
+		Transport: n.cfg.HeartbeatTransport,
+	}
+	if n.udp != nil {
+		sent, rcvd, _ := n.udp.Stats()
+		resp.UDPOut, resp.UDPIn = sent, rcvd
 	}
 	for _, id := range det.Suspected().Members() {
 		resp.Suspected = append(resp.Suspected, int(id))

@@ -21,6 +21,7 @@ import (
 	"repro/internal/consensus/cec"
 	"repro/internal/dsys"
 	"repro/internal/fd/ring"
+	"repro/internal/netfault"
 	"repro/internal/rbcast"
 	"repro/internal/tcpnet"
 	"repro/internal/trace"
@@ -31,7 +32,7 @@ func main() {
 	col := trace.NewCollector()
 	// Fair-lossy links on purpose: every frame has a 3% chance to vanish.
 	// The detectors and consensus are built for exactly this.
-	faults := &tcpnet.Faults{Seed: 1, DropP: 0.03}
+	faults := &tcpnet.Faults{Knobs: netfault.Knobs{Seed: 1, DropP: 0.03}}
 	mesh, err := tcpnet.New(tcpnet.Config{N: n, Trace: col, Faults: faults})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tcpcluster: %v\n", err)

@@ -26,8 +26,20 @@ type QoS struct {
 	Mistakes int
 	// AvgMistakeDuration is the mean duration of closed mistake episodes
 	// (from the first suspecting sample to the first clear sample). Zero if
-	// there were no closed mistakes.
+	// there were no closed mistakes. Episodes still open at the trace horizon
+	// count in Mistakes and MistakeRate but not here — their true duration is
+	// unknown.
 	AvgMistakeDuration time.Duration
+	// MistakeRate is Chen's λ_M: mistake episodes per second of observed
+	// alive time, where alive time sums, over all (correct observer, target)
+	// pairs, the sampled span during which the target had not crashed. Zero
+	// when no alive time was observed.
+	MistakeRate float64
+	// QueryAccuracy is Chen's P_A: the probability that a query about an
+	// alive process returns "not suspected", estimated as the fraction of
+	// (sample, alive target) points where the observer did not suspect the
+	// target. 1 when the trace contains no such points (vacuously accurate).
+	QueryAccuracy float64
 }
 
 // QoS computes the metrics from the recorded samples and crash times.
@@ -38,6 +50,8 @@ func (t FDTrace) QoS() QoS {
 	missed := false
 	var mistakeSum time.Duration
 	closedMistakes := 0
+	var aliveSpan time.Duration // summed sampled alive time over all pairs
+	aliveQueries, accurate := 0, 0
 
 	for _, p := range t.CorrectIDs() {
 		ss := t.Rec.Samples(p)
@@ -54,6 +68,12 @@ func (t FDTrace) QoS() QoS {
 			for _, s := range ss {
 				suspected := s.Suspected.Has(target)
 				aliveAt := !crashed || s.At < crashAt
+				if aliveAt {
+					aliveQueries++
+					if !suspected {
+						accurate++
+					}
+				}
 				switch {
 				case suspected && !inMistake && aliveAt:
 					inMistake = true
@@ -69,6 +89,18 @@ func (t FDTrace) QoS() QoS {
 					inMistake = false
 					mistakeSum += crashAt - mistakeStart
 					closedMistakes++
+				}
+			}
+
+			// Sampled alive span of this pair: first sample to the earlier of
+			// the last sample and the crash.
+			if len(ss) > 0 {
+				horizon := ss[len(ss)-1].At
+				if crashed && crashAt < horizon {
+					horizon = crashAt
+				}
+				if span := horizon - ss[0].At; span > 0 {
+					aliveSpan += span
 				}
 			}
 
@@ -106,6 +138,13 @@ func (t FDTrace) QoS() QoS {
 	}
 	if closedMistakes > 0 {
 		q.AvgMistakeDuration = mistakeSum / time.Duration(closedMistakes)
+	}
+	if aliveSpan > 0 {
+		q.MistakeRate = float64(q.Mistakes) / aliveSpan.Seconds()
+	}
+	q.QueryAccuracy = 1
+	if aliveQueries > 0 {
+		q.QueryAccuracy = float64(accurate) / float64(aliveQueries)
 	}
 	return q
 }

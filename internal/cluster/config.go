@@ -32,6 +32,20 @@ const (
 	DetectorHeartbeat = "heartbeat"
 )
 
+// Heartbeat transports understood by cmd/ecnode.
+const (
+	// TransportTCP (default) carries detector traffic on the same TCP mesh
+	// as everything else.
+	TransportTCP = "tcp"
+	// TransportUDP carries the detector's periodic traffic (heartbeats or
+	// ring beats) as UDP datagrams on the mesh address, while control
+	// traffic — consensus, reliable broadcast, log transfer — stays on TCP.
+	// Lost heartbeats then cost suspicion latency instead of TCP
+	// retransmission stalls, which is the fair-lossy link model the paper's
+	// detectors are specified against.
+	TransportUDP = "udp"
+)
+
 // Consensus roles understood by cmd/ecnode.
 const (
 	// RoleReplica (default) runs the full stack — detector, reliable
@@ -60,6 +74,12 @@ type NodeConfig struct {
 	// Role selects the consensus role: RoleReplica (default) or
 	// RoleMonitor.
 	Role string `json:"role,omitempty"`
+	// HeartbeatTransport selects how detector traffic travels:
+	// TransportTCP (default) multiplexes it onto the TCP mesh;
+	// TransportUDP sends it as datagrams bound on the same mesh host:port
+	// (TCP and UDP port spaces are disjoint, so no extra addresses are
+	// needed).
+	HeartbeatTransport string `json:"heartbeat_transport,omitempty"`
 	// PeriodMS is the detector heartbeat period in milliseconds
 	// (default 10).
 	PeriodMS int `json:"period_ms,omitempty"`
@@ -101,11 +121,20 @@ func (c *NodeConfig) Validate() error {
 	default:
 		return fmt.Errorf("cluster: unknown role %q (want %q or %q)", c.Role, RoleReplica, RoleMonitor)
 	}
+	switch c.HeartbeatTransport {
+	case "", TransportTCP, TransportUDP:
+	default:
+		return fmt.Errorf("cluster: unknown heartbeat_transport %q (want %q or %q)",
+			c.HeartbeatTransport, TransportTCP, TransportUDP)
+	}
 	if c.Detector == "" {
 		c.Detector = DetectorRing
 	}
 	if c.Role == "" {
 		c.Role = RoleReplica
+	}
+	if c.HeartbeatTransport == "" {
+		c.HeartbeatTransport = TransportTCP
 	}
 	if c.PeriodMS <= 0 {
 		c.PeriodMS = 10
@@ -165,13 +194,25 @@ type Spec struct {
 	Path string
 }
 
+// GenOptions parameterizes GenerateCluster. Zero values mean defaults
+// (ring detector, 10ms period, TCP heartbeats, core's batching).
+type GenOptions struct {
+	N                  int
+	Detector           string
+	PeriodMS           int
+	MaxBatch, Pipeline int
+	// HeartbeatTransport selects TransportTCP (default) or TransportUDP for
+	// the detector traffic of every node.
+	HeartbeatTransport string
+}
+
 // Generate allocates 2n loopback ports (mesh + client per node), writes one
 // config file per node into dir (node1.json .. nodeN.json) and returns the
 // specs. Ports are reserved by binding and releasing ephemeral listeners, so
 // the addresses are fixed — which is what lets a killed node restart on the
 // SAME address, the scenario E16 exists to measure.
 func Generate(dir string, n int, detector string, periodMS int) ([]Spec, error) {
-	return GenerateTuned(dir, n, detector, periodMS, 0, 0)
+	return GenerateCluster(dir, GenOptions{N: n, Detector: detector, PeriodMS: periodMS})
 }
 
 // GenerateTuned is Generate with explicit replicated-log throughput knobs:
@@ -179,28 +220,43 @@ func Generate(dir string, n int, detector string, periodMS int) ([]Spec, error) 
 // core's defaults; 1/1 is the unbatched, sequential baseline). E17's batch ×
 // pipeline cells are generated through this.
 func GenerateTuned(dir string, n int, detector string, periodMS, maxBatch, pipeline int) ([]Spec, error) {
-	if n < 1 {
+	return GenerateCluster(dir, GenOptions{
+		N: n, Detector: detector, PeriodMS: periodMS,
+		MaxBatch: maxBatch, Pipeline: pipeline,
+	})
+}
+
+// GenerateCluster is the general form Generate and GenerateTuned wrap. Mesh
+// addresses are probed on TCP and UDP both, so a TransportUDP cluster can
+// bind its datagram sockets on the same host:port as the stream mesh.
+func GenerateCluster(dir string, o GenOptions) ([]Spec, error) {
+	if o.N < 1 {
 		return nil, fmt.Errorf("cluster: n must be at least 1")
 	}
-	addrs, err := freeAddrs(2 * n)
+	mesh, err := freeDualAddrs(o.N)
 	if err != nil {
 		return nil, err
 	}
-	peers := make(map[string]string, n)
-	for i := 0; i < n; i++ {
-		peers[strconv.Itoa(i+1)] = addrs[i]
+	client, err := freeAddrs(o.N)
+	if err != nil {
+		return nil, err
 	}
-	specs := make([]Spec, n)
-	for i := 0; i < n; i++ {
+	peers := make(map[string]string, o.N)
+	for i := 0; i < o.N; i++ {
+		peers[strconv.Itoa(i+1)] = mesh[i]
+	}
+	specs := make([]Spec, o.N)
+	for i := 0; i < o.N; i++ {
 		cfg := NodeConfig{
-			ID:         i + 1,
-			N:          n,
-			Peers:      peers,
-			ClientAddr: addrs[n+i],
-			Detector:   detector,
-			PeriodMS:   periodMS,
-			MaxBatch:   maxBatch,
-			Pipeline:   pipeline,
+			ID:                 i + 1,
+			N:                  o.N,
+			Peers:              peers,
+			ClientAddr:         client[i],
+			Detector:           o.Detector,
+			HeartbeatTransport: o.HeartbeatTransport,
+			PeriodMS:           o.PeriodMS,
+			MaxBatch:           o.MaxBatch,
+			Pipeline:           o.Pipeline,
 		}
 		if err := cfg.Validate(); err != nil {
 			return nil, err
@@ -242,6 +298,36 @@ func freeAddrs(k int) ([]string, error) {
 		}
 		lns = append(lns, ln)
 		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}
+
+// freeDualAddrs reserves k loopback host:port addresses that are free on
+// BOTH tcp and udp, so a mixed-transport node can bind its datagram socket
+// alongside its stream listener on one address.
+func freeDualAddrs(k int) ([]string, error) {
+	addrs := make([]string, 0, k)
+	for attempts := 0; len(addrs) < k; attempts++ {
+		if attempts > 20*k {
+			return nil, fmt.Errorf("cluster: could not reserve %d tcp+udp port pairs", k)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: reserve port: %w", err)
+		}
+		addr := ln.Addr().String()
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		uc, err := net.ListenUDP("udp", ua)
+		ln.Close()
+		if err != nil {
+			continue // UDP side taken; try another ephemeral port
+		}
+		uc.Close()
+		addrs = append(addrs, addr)
 	}
 	return addrs, nil
 }

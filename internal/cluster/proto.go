@@ -39,6 +39,13 @@ type Response struct {
 	Suspected []int  `json:"suspected,omitempty"`
 	Applied   int    `json:"applied,omitempty"`
 	UptimeMS  int64  `json:"uptime_ms,omitempty"`
+	// Transport is the node's heartbeat transport ("tcp" or "udp"); UDPOut
+	// and UDPIn are its datagram counters (zero unless Transport is "udp").
+	// E18's mixed-transport phase asserts on these to prove heartbeats
+	// really left TCP.
+	Transport string `json:"transport,omitempty"`
+	UDPOut    int64  `json:"udp_out,omitempty"`
+	UDPIn     int64  `json:"udp_in,omitempty"`
 
 	// Log: the applied command payloads, in slot order.
 	Entries []string `json:"entries,omitempty"`

@@ -50,6 +50,15 @@ func TestE16(t *testing.T) {
 	runExp(t, "E16", E16ClusterKillRestart)
 }
 
+// E18's cluster phase also spawns real OS processes (3 ecnodes with UDP
+// heartbeats); skipped in -short alongside E16.
+func TestE18(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped in -short")
+	}
+	runExp(t, "E18", E18ScenarioMatrix)
+}
+
 // TestTableNonASCIIAlignment is the regression for pad measuring width in
 // bytes: multi-byte cells like "◇P" (3-byte runes) made len(s) overshoot the
 // rendered width, so every column after a non-ASCII cell drifted out of

@@ -8,6 +8,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/dsys"
 	"repro/internal/fd/heartbeat"
+	"repro/internal/netfault"
 	"repro/internal/tcpnet"
 	"repro/internal/trace"
 )
@@ -34,8 +35,8 @@ func E13MeshChaos(quick bool) (*Table, error) {
 		resets bool
 	}{
 		{"none", nil, false},
-		{"5% drop + 5% dup", &tcpnet.Faults{Seed: 5, DropP: 0.05, DupP: 0.05}, false},
-		{"5% drop + conn resets", &tcpnet.Faults{Seed: 7, DropP: 0.05, ResetP: 0.01}, true},
+		{"5% drop + 5% dup", &tcpnet.Faults{Knobs: netfault.Knobs{Seed: 5, DropP: 0.05, DupP: 0.05}}, false},
+		{"5% drop + conn resets", &tcpnet.Faults{Knobs: netfault.Knobs{Seed: 7, DropP: 0.05}, ResetP: 0.01}, true},
 	}
 	if quick {
 		scenarios = scenarios[1:] // skip the clean baseline in quick mode

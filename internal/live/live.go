@@ -42,7 +42,12 @@ type Config struct {
 	// eventually calling Cluster.Inject on the destination's side. Used by
 	// package tcpnet to run the cluster over real sockets. The message is
 	// passed by value so the sender-side hot path stays allocation-free —
-	// transports queue the fields they need, not the Message itself.
+	// transports queue the fields they need, not the Message itself. The
+	// contract does NOT promise delivery: a transport may drop freely
+	// (udpnet's datagrams, tcpnet under fault injection), and one cluster's
+	// traffic may be split across transports by message kind (tcpnet's
+	// Datagram option routes detector beats over UDP while the rest stays
+	// on TCP) — protocols must own their retry/suspicion logic.
 	Transport func(m dsys.Message)
 }
 

@@ -1,0 +1,153 @@
+// Package netfault is the fault-injection plumbing shared by the live
+// transports: tcpnet (streams) and udpnet (datagrams) both expose a Faults
+// type whose probability knobs, validation, seeded randomness and dynamic
+// partition set come from here. Extracting it keeps the two transports'
+// drop/duplication semantics literally the same code path, so "5% loss"
+// means one thing across the whole repository — the scenario-matrix
+// experiment (E18) depends on that when it compares detectors across
+// transports.
+//
+// The split of responsibilities mirrors how the transports use it:
+//
+//   - Knobs is plain configuration — the probability fields a caller sets in
+//     a composite literal before handing the Faults to the transport, plus
+//     their validation. Transports embed it so the fields appear directly on
+//     their Faults type.
+//   - Engine is the runtime state — a seeded *rand.Rand behind a mutex and
+//     the dynamic partition set. Transports embed it (by value, it
+//     self-initializes) and the exported Partition/Heal/HealAll methods
+//     promote onto their Faults type unchanged.
+package netfault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dsys"
+)
+
+// Knobs holds the fault probabilities common to every transport. A zero
+// value injects nothing.
+type Knobs struct {
+	// Seed drives the fault randomness (default 1). Two transports given the
+	// same seed and the same send sequence make identical drop/dup
+	// decisions.
+	Seed int64
+	// DropP drops each outbound frame independently with this probability.
+	// With DropP < 1 the link remains fair-lossy: infinitely many of an
+	// infinite sequence of sends still arrive.
+	DropP float64
+	// DupP sends a second copy of a frame with this probability. The
+	// protocols in this repository deduplicate, so duplicates must be
+	// harmless — the soak tests verify that over real sockets.
+	DupP float64
+}
+
+// Validate rejects probabilities outside [0, 1].
+func (k Knobs) Validate() error {
+	if err := ValidateP("DropP", k.DropP); err != nil {
+		return err
+	}
+	return ValidateP("DupP", k.DupP)
+}
+
+// ValidateP checks one probability field, named for the error message.
+// Transports use it for their own extra knobs (ResetP, ReorderP) so every
+// probability reports inconsistencies the same way.
+func ValidateP(name string, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("netfault: %s = %v outside [0, 1]", name, p)
+	}
+	return nil
+}
+
+// Engine is the shared dynamic fault state: the seeded random source and the
+// partition set. The zero value is usable after Init; all methods are safe
+// for concurrent use (transports roll faults from many goroutines).
+type Engine struct {
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+	cut  map[[2]dsys.ProcessID]bool
+}
+
+// Init seeds the engine exactly once (seed 0 means 1, so a zero Knobs value
+// still works). Transports call it from their construction-time init path;
+// calling it again is a no-op.
+func (e *Engine) Init(seed int64) {
+	e.once.Do(func() {
+		if seed == 0 {
+			seed = 1
+		}
+		e.mu.Lock()
+		e.rng = rand.New(rand.NewSource(seed))
+		if e.cut == nil {
+			e.cut = make(map[[2]dsys.ProcessID]bool)
+		}
+		e.mu.Unlock()
+	})
+}
+
+// Chance flips a coin with probability p. p <= 0 never consumes randomness,
+// keeping decision sequences comparable across configurations that leave
+// some knobs at zero (the same convention package network's FairLossy
+// documents for the simulator).
+func (e *Engine) Chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	e.Init(0) // tolerate rolls before the transport's init (tests)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rng.Float64() < p
+}
+
+// DurationIn draws a uniform duration from [0, max). Zero or negative max
+// yields 0 without consuming randomness. The udpnet jitter and reordering
+// windows are sampled through this.
+func (e *Engine) DurationIn(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	e.Init(0)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Duration(e.rng.Int63n(int64(max)))
+}
+
+// Partition cuts the links between a and b in both directions: frames
+// between them are dropped until Heal(a, b) or HealAll. Partitions are
+// dynamic — callable at any time while the transport runs.
+func (e *Engine) Partition(a, b dsys.ProcessID) {
+	e.mu.Lock()
+	if e.cut == nil {
+		e.cut = make(map[[2]dsys.ProcessID]bool)
+	}
+	e.cut[[2]dsys.ProcessID{a, b}] = true
+	e.cut[[2]dsys.ProcessID{b, a}] = true
+	e.mu.Unlock()
+}
+
+// Heal removes the partition between a and b.
+func (e *Engine) Heal(a, b dsys.ProcessID) {
+	e.mu.Lock()
+	delete(e.cut, [2]dsys.ProcessID{a, b})
+	delete(e.cut, [2]dsys.ProcessID{b, a})
+	e.mu.Unlock()
+}
+
+// HealAll removes every partition.
+func (e *Engine) HealAll() {
+	e.mu.Lock()
+	e.cut = make(map[[2]dsys.ProcessID]bool)
+	e.mu.Unlock()
+}
+
+// Partitioned reports whether frames from -> to are currently cut.
+func (e *Engine) Partitioned(from, to dsys.ProcessID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cut[[2]dsys.ProcessID{from, to}]
+}

@@ -1,0 +1,102 @@
+package netfault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKnobsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		k    Knobs
+		ok   bool
+	}{
+		{"zero", Knobs{}, true},
+		{"full", Knobs{Seed: 7, DropP: 1, DupP: 1}, true},
+		{"mid", Knobs{DropP: 0.05, DupP: 0.5}, true},
+		{"drop negative", Knobs{DropP: -0.1}, false},
+		{"drop above one", Knobs{DropP: 1.1}, false},
+		{"dup negative", Knobs{DupP: -1}, false},
+		{"dup above one", Knobs{DupP: 2}, false},
+	}
+	for _, c := range cases {
+		err := c.k.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// Two engines with the same seed make identical decision sequences — the
+// property that lets tcpnet and udpnet share "the same" injected faults.
+func TestEngineSameSeedSameDecisions(t *testing.T) {
+	var a, b Engine
+	a.Init(42)
+	b.Init(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Chance(0.3), b.Chance(0.3); got != want {
+			t.Fatalf("decision %d diverged: %v vs %v", i, got, want)
+		}
+		if got, want := a.DurationIn(time.Second), b.DurationIn(time.Second); got != want {
+			t.Fatalf("duration %d diverged: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestEngineChanceExtremes(t *testing.T) {
+	var e Engine
+	e.Init(1)
+	for i := 0; i < 100; i++ {
+		if e.Chance(0) {
+			t.Fatal("Chance(0) fired")
+		}
+	}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if e.Chance(1) {
+			hits++
+		}
+	}
+	if hits != 1000 {
+		t.Fatalf("Chance(1) fired %d/1000 times", hits)
+	}
+}
+
+func TestEnginePartitions(t *testing.T) {
+	var e Engine
+	e.Init(1)
+	if e.Partitioned(1, 2) {
+		t.Fatal("fresh engine should not partition")
+	}
+	e.Partition(1, 2)
+	if !e.Partitioned(1, 2) || !e.Partitioned(2, 1) {
+		t.Fatal("Partition must cut both directions")
+	}
+	if e.Partitioned(1, 3) {
+		t.Fatal("unrelated link cut")
+	}
+	e.Heal(2, 1) // argument order must not matter
+	if e.Partitioned(1, 2) {
+		t.Fatal("Heal did not restore the link")
+	}
+	e.Partition(1, 2)
+	e.Partition(2, 3)
+	e.HealAll()
+	if e.Partitioned(1, 2) || e.Partitioned(2, 3) {
+		t.Fatal("HealAll left a cut behind")
+	}
+}
+
+// Partition before Init must work: dynamic partitions are callable on a
+// Faults value the transport has not seen yet.
+func TestEnginePartitionBeforeInit(t *testing.T) {
+	var e Engine
+	e.Partition(1, 2)
+	if !e.Partitioned(1, 2) {
+		t.Fatal("Partition before Init lost")
+	}
+	e.Init(9)
+	if !e.Partitioned(1, 2) {
+		t.Fatal("Init dropped the pre-existing cut")
+	}
+}

@@ -1,0 +1,134 @@
+package netfault_test
+
+// Both live transports embed netfault.Knobs/Engine, so their drop and
+// duplication knobs must mean the same thing: DropP=1 silences a link on
+// streams and datagrams alike, and DupP=1 doubles every delivery on both.
+// These tests drive each transport through the same send schedule and hold
+// them to the same bar — the contract the E18 scenario matrix relies on
+// when it compares detectors across transports.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/netfault"
+	"repro/internal/tcpnet"
+	"repro/internal/trace"
+	"repro/internal/udpnet"
+)
+
+// meshUnderTest abstracts the two transports behind the operations the
+// shared test body needs.
+type meshUnderTest struct {
+	spawn func(id dsys.ProcessID, name string, fn dsys.TaskFunc)
+	stop  func()
+}
+
+func startTCP(t *testing.T, knobs netfault.Knobs, col *trace.Collector) meshUnderTest {
+	t.Helper()
+	m, err := tcpnet.New(tcpnet.Config{N: 2, Trace: col, Faults: &tcpnet.Faults{Knobs: knobs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meshUnderTest{spawn: m.Spawn, stop: m.Stop}
+}
+
+func startUDP(t *testing.T, knobs netfault.Knobs, col *trace.Collector) meshUnderTest {
+	t.Helper()
+	m, err := udpnet.New(udpnet.Config{N: 2, Trace: col, Faults: &udpnet.Faults{Knobs: knobs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meshUnderTest{spawn: m.Spawn, stop: m.Stop}
+}
+
+// runCertainDrop asserts DropP=1 delivers nothing on the given transport.
+func runCertainDrop(t *testing.T, start func(*testing.T, netfault.Knobs, *trace.Collector) meshUnderTest, dropEvent string) {
+	t.Helper()
+	col := trace.NewCollector()
+	m := start(t, netfault.Knobs{Seed: 9, DropP: 1}, col)
+	defer m.stop()
+	got := make(chan int, 1024)
+	m.spawn(2, "recv", func(p dsys.Proc) {
+		for {
+			msg, _ := p.Recv(dsys.MatchKind("seq"))
+			got <- msg.Payload.(int)
+		}
+	})
+	m.spawn(1, "send", func(p dsys.Proc) {
+		for i := 0; ; i++ {
+			p.Send(2, "seq", i)
+			p.Sleep(time.Millisecond)
+		}
+	})
+	select {
+	case v := <-got:
+		t.Fatalf("frame %d delivered despite DropP=1", v)
+	case <-time.After(400 * time.Millisecond):
+	}
+	if col.LinkEvents(dropEvent) == 0 {
+		t.Fatalf("no %s traced — nothing was sent?", dropEvent)
+	}
+}
+
+func TestCertainDropSilencesTCP(t *testing.T) { runCertainDrop(t, startTCP, "tcp.drop") }
+func TestCertainDropSilencesUDP(t *testing.T) { runCertainDrop(t, startUDP, "udp.drop") }
+
+// runCertainDup asserts DupP=1 visibly duplicates on the given transport:
+// the receiver sees clearly more deliveries than distinct sends, and never
+// more than two per send. TCP delivers reliably, so it must converge on
+// exactly 2 copies each; UDP may shed copies (natural loss), so the bar is
+// "duplication observed, never more than doubled".
+func runCertainDup(t *testing.T, start func(*testing.T, netfault.Knobs, *trace.Collector) meshUnderTest, exact bool) {
+	t.Helper()
+	const sends = 40
+	col := trace.NewCollector()
+	m := start(t, netfault.Knobs{Seed: 11, DupP: 1}, col)
+	defer m.stop()
+	counts := make(chan int, 4*sends)
+	m.spawn(2, "recv", func(p dsys.Proc) {
+		for {
+			msg, _ := p.Recv(dsys.MatchKind("seq"))
+			counts <- msg.Payload.(int)
+		}
+	})
+	m.spawn(1, "send", func(p dsys.Proc) {
+		for i := 0; i < sends; i++ {
+			p.Send(2, "seq", i)
+			p.Sleep(2 * time.Millisecond)
+		}
+		p.Sleep(time.Hour)
+	})
+
+	perSend := make(map[int]int)
+	total := 0
+	deadline := time.After(15 * time.Second)
+	want := 2 * sends
+	if !exact {
+		want = sends + sends/2 // duplication unmistakable even with some loss
+	}
+	for total < want {
+		select {
+		case v := <-counts:
+			perSend[v]++
+			if perSend[v] > 2 {
+				t.Fatalf("send %d delivered %d times — more copies than DupP=1 allows", v, perSend[v])
+			}
+			total++
+		case <-deadline:
+			t.Fatalf("only %d deliveries of %d sends with DupP=1 (want >= %d)", total, sends, want)
+		}
+	}
+	// Drain stragglers and re-check the per-send ceiling.
+	time.Sleep(200 * time.Millisecond)
+	for len(counts) > 0 {
+		v := <-counts
+		if perSend[v]++; perSend[v] > 2 {
+			t.Fatalf("send %d delivered %d times — more copies than DupP=1 allows", v, perSend[v])
+		}
+	}
+}
+
+func TestCertainDupDoublesTCP(t *testing.T) { runCertainDup(t, startTCP, true) }
+func TestCertainDupDoublesUDP(t *testing.T) { runCertainDup(t, startUDP, false) }

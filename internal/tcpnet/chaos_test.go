@@ -20,6 +20,7 @@ import (
 	"repro/internal/fd/heartbeat"
 	"repro/internal/fd/omega"
 	"repro/internal/fd/ring"
+	"repro/internal/netfault"
 	"repro/internal/rbcast"
 	"repro/internal/tcpnet"
 	"repro/internal/trace"
@@ -32,7 +33,7 @@ func TestChaosSoakMesh(t *testing.T) {
 		period  = 10 * time.Millisecond
 	)
 	col := &trace.Collector{} // counters only; the run is chatty
-	faults := &tcpnet.Faults{Seed: 42, DropP: 0.05, ResetP: 0.005}
+	faults := &tcpnet.Faults{Knobs: netfault.Knobs{Seed: 42, DropP: 0.05}, ResetP: 0.005}
 	m, err := tcpnet.New(tcpnet.Config{N: n, Trace: col, Faults: faults})
 	if err != nil {
 		t.Fatal(err)

@@ -1,100 +1,49 @@
 package tcpnet
 
 import (
-	"math/rand"
-	"sync"
+	"fmt"
 
-	"repro/internal/dsys"
+	"repro/internal/netfault"
 )
 
 // Faults injects transport faults into a Mesh, mirroring over real sockets
 // what package network's models (FairLossy, Partitioned, Duplicating) give
 // the simulator, so the QoS and soak experiments can run against TCP.
 //
-// The probability fields are read at Mesh construction semantics: set them
-// before passing the Faults to New and leave them fixed for the run.
-// Partitions are dynamic: Partition/Heal/HealAll may be called at any time
-// while the mesh runs. One Faults value must not be shared by two meshes.
+// The probability knobs (netfault.Knobs plus ResetP) are read at Mesh
+// construction: set them before passing the Faults to New and leave them
+// fixed for the run — New rejects out-of-range probabilities. Partitions
+// are dynamic: Partition/Heal/HealAll may be called at any time while the
+// mesh runs. One Faults value must not be shared by two meshes.
 //
 // Every injected fault is traced on the mesh's collector: "tcp.drop"
 // (random frame drop), "tcp.dup" (frame duplicated), "tcp.cut" (frame
 // dropped by a partition), "tcp.reset" (forced connection reset).
 type Faults struct {
-	// Seed drives the fault randomness (default 1).
-	Seed int64
-	// DropP drops each outbound frame independently with this probability.
-	// With DropP < 1 the link remains fair-lossy: infinitely many of an
-	// infinite sequence of sends still arrive.
-	DropP float64
-	// DupP enqueues a second copy of a frame with this probability. The
-	// protocols in this repository deduplicate, so duplicates must be
-	// harmless — the soak tests verify that over real sockets.
-	DupP float64
+	// Knobs carries the shared fault configuration — Seed, DropP, DupP —
+	// with the same semantics as udpnet.Faults (one definition, one
+	// validation path; see package netfault).
+	netfault.Knobs
 	// ResetP forcibly closes the outbound connection after a successfully
 	// written frame with this probability. The writer reconnects with
 	// backoff; later frames flow again (frames lost in the TCP teardown
 	// window count against DropP-style fair loss, not permanent loss).
+	// Stream-specific: udpnet has no connections to reset.
 	ResetP float64
 
-	once sync.Once
-	mu   sync.Mutex
-	rng  *rand.Rand
-	cut  map[[2]dsys.ProcessID]bool
+	// Engine provides the seeded randomness and the dynamic partition set;
+	// its Partition, Heal and HealAll methods promote onto Faults.
+	netfault.Engine
 }
 
-func (f *Faults) init() {
-	f.once.Do(func() {
-		seed := f.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		f.mu.Lock()
-		f.rng = rand.New(rand.NewSource(seed))
-		f.cut = make(map[[2]dsys.ProcessID]bool)
-		f.mu.Unlock()
-	})
-}
-
-// Partition cuts the links between a and b in both directions: frames
-// between them are dropped until Heal(a, b) or HealAll.
-func (f *Faults) Partition(a, b dsys.ProcessID) {
-	f.init()
-	f.mu.Lock()
-	f.cut[[2]dsys.ProcessID{a, b}] = true
-	f.cut[[2]dsys.ProcessID{b, a}] = true
-	f.mu.Unlock()
-}
-
-// Heal removes the partition between a and b.
-func (f *Faults) Heal(a, b dsys.ProcessID) {
-	f.init()
-	f.mu.Lock()
-	delete(f.cut, [2]dsys.ProcessID{a, b})
-	delete(f.cut, [2]dsys.ProcessID{b, a})
-	f.mu.Unlock()
-}
-
-// HealAll removes every partition.
-func (f *Faults) HealAll() {
-	f.init()
-	f.mu.Lock()
-	f.cut = make(map[[2]dsys.ProcessID]bool)
-	f.mu.Unlock()
-}
-
-// partitioned reports whether frames from -> to are currently cut.
-func (f *Faults) partitioned(from, to dsys.ProcessID) bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.cut[[2]dsys.ProcessID{from, to}]
-}
-
-// chance flips a coin with probability p.
-func (f *Faults) chance(p float64) bool {
-	if p <= 0 {
-		return false
+// init validates the knobs and seeds the engine. Called by New; idempotent.
+func (f *Faults) init() error {
+	if err := f.Knobs.Validate(); err != nil {
+		return fmt.Errorf("tcpnet: %w", err)
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.rng.Float64() < p
+	if err := netfault.ValidateP("ResetP", f.ResetP); err != nil {
+		return fmt.Errorf("tcpnet: %w", err)
+	}
+	f.Engine.Init(f.Seed)
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/dsys"
+	"repro/internal/netfault"
 	"repro/internal/tcpnet"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -159,7 +160,7 @@ func TestReconnectAfterReset(t *testing.T) {
 // observes traffic resuming.
 func TestPartitionAndHeal(t *testing.T) {
 	col := trace.NewCollector()
-	faults := &tcpnet.Faults{Seed: 3}
+	faults := &tcpnet.Faults{Knobs: netfault.Knobs{Seed: 3}}
 	m, err := tcpnet.New(tcpnet.Config{N: 2, Trace: col, Faults: faults})
 	if err != nil {
 		t.Fatal(err)
@@ -212,7 +213,7 @@ func TestPartitionAndHeal(t *testing.T) {
 // sees more deliveries than distinct sends.
 func TestDropAndDuplicationFaults(t *testing.T) {
 	col := trace.NewCollector()
-	faults := &tcpnet.Faults{Seed: 11, DropP: 0.3, DupP: 0.5}
+	faults := &tcpnet.Faults{Knobs: netfault.Knobs{Seed: 11, DropP: 0.3, DupP: 0.5}}
 	m, err := tcpnet.New(tcpnet.Config{N: 2, Trace: col, Faults: faults})
 	if err != nil {
 		t.Fatal(err)

@@ -167,6 +167,38 @@ type Config struct {
 	// Faults, if set, injects transport faults (drops, duplication,
 	// partitions, forced connection resets). Nil means a clean mesh.
 	Faults *Faults
+	// Datagram, if set, is a side transport (package udpnet) that carries
+	// the message kinds listed in DatagramKinds instead of the TCP streams —
+	// typically the failure detectors' heartbeat/ring-beat traffic, which is
+	// loss-tolerant by design (the paper's Section 4 link model for the
+	// leader is fair-lossy) and gains nothing from TCP's reliability while
+	// paying for its head-of-line blocking. Control traffic (rbcast,
+	// consensus, replicated log) keeps flowing over TCP. The mesh arms the
+	// datagram transport's delivery on New and propagates Crash and Stop to
+	// it. The mesh's own Faults do not apply to datagram kinds; the datagram
+	// transport has its own.
+	Datagram Datagram
+	// DatagramKinds lists the message kinds routed over Datagram. Required
+	// (non-empty) when Datagram is set.
+	DatagramKinds []string
+}
+
+// Datagram is the contract a side datagram transport implements so a Mesh
+// can route selected kinds over it (udpnet.Transport is the implementation).
+type Datagram interface {
+	// Start arms inbound delivery: every datagram frame the transport
+	// receives and validates is handed to deliver (from any receiver
+	// goroutine, concurrently). The mesh re-validates and injects into its
+	// cluster.
+	Start(deliver func(from, to dsys.ProcessID, kind string, payload any))
+	// Send transmits one message as a single datagram, best-effort: no
+	// queueing, no retransmission, loss is natural.
+	Send(m dsys.Message)
+	// Crash stops carrying traffic to and from id and closes its local
+	// socket (if this transport hosts it).
+	Crash(id dsys.ProcessID)
+	// Stop closes every socket and ends the receiver goroutines.
+	Stop()
 }
 
 // dialFunc produces outbound connections; a test hook substitutes
@@ -186,6 +218,10 @@ type Mesh struct {
 	stopped atomic.Bool
 	crashed []atomic.Bool          // by id-1
 	peerTab []atomic.Pointer[peer] // by destination id-1; nil until first use
+
+	// dgKinds indexes Config.DatagramKinds; non-nil only when a datagram
+	// side-transport is configured. Read lock-free on the send path.
+	dgKinds map[string]bool
 
 	// Cumulative outbound volume, for WireStats.
 	wireFrames atomic.Int64
@@ -222,7 +258,12 @@ func New(cfg Config) (*Mesh, error) {
 		cfg.MaxBackoff = 500 * time.Millisecond
 	}
 	if cfg.Faults != nil {
-		cfg.Faults.init()
+		if err := cfg.Faults.init(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Datagram != nil && len(cfg.DatagramKinds) == 0 {
+		return nil, fmt.Errorf("tcpnet: Datagram set without DatagramKinds")
 	}
 	m := &Mesh{
 		cfg:     cfg,
@@ -233,12 +274,21 @@ func New(cfg Config) (*Mesh, error) {
 	m.dial = func(addr string, timeout time.Duration) (net.Conn, error) {
 		return net.DialTimeout("tcp", addr, timeout)
 	}
+	if cfg.Datagram != nil {
+		m.dgKinds = make(map[string]bool, len(cfg.DatagramKinds))
+		for _, k := range cfg.DatagramKinds {
+			m.dgKinds[k] = true
+		}
+	}
 	m.cluster = live.NewCluster(live.Config{
 		N:         cfg.N,
 		Trace:     cfg.Trace,
 		Log:       cfg.Log,
 		Transport: m.send,
 	})
+	if cfg.Datagram != nil {
+		cfg.Datagram.Start(m.injectDatagram)
+	}
 	m.listeners = make([]net.Listener, cfg.N)
 	m.addrs = make([]string, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -349,6 +399,9 @@ func (m *Mesh) Crash(id dsys.ProcessID) {
 	for _, c := range ins {
 		c.Close()
 	}
+	if m.cfg.Datagram != nil {
+		m.cfg.Datagram.Crash(id)
+	}
 	m.cluster.Crash(id)
 }
 
@@ -382,6 +435,9 @@ func (m *Mesh) Stop() {
 	for _, c := range ins {
 		c.Close()
 	}
+	if m.cfg.Datagram != nil {
+		m.cfg.Datagram.Stop()
+	}
 	m.cluster.Stop()
 	m.wg.Wait()
 }
@@ -401,12 +457,18 @@ func (m *Mesh) ResetConns() {
 // the frame to the destination's outbound queue. It never blocks on the
 // network.
 func (m *Mesh) send(msg dsys.Message) {
+	if m.dgKinds != nil && m.dgKinds[msg.Kind] {
+		// Detector traffic rides the datagram side-transport (its own Faults
+		// apply there); the TCP mesh's faults only shape stream traffic.
+		m.cfg.Datagram.Send(msg)
+		return
+	}
 	if fa := m.cfg.Faults; fa != nil {
-		if fa.partitioned(msg.From, msg.To) {
+		if fa.Partitioned(msg.From, msg.To) {
 			m.onLink("tcp.cut", msg.From, msg.To)
 			return
 		}
-		if fa.chance(fa.DropP) {
+		if fa.Chance(fa.DropP) {
 			m.onLink("tcp.drop", msg.From, msg.To)
 			return
 		}
@@ -417,7 +479,7 @@ func (m *Mesh) send(msg dsys.Message) {
 	}
 	f := frame{From: msg.From, To: msg.To, Kind: msg.Kind, Payload: msg.Payload}
 	pr.enqueue(outFrame{f: f})
-	if fa := m.cfg.Faults; fa != nil && fa.chance(fa.DupP) {
+	if fa := m.cfg.Faults; fa != nil && fa.Chance(fa.DupP) {
 		m.onLink("tcp.dup", msg.From, msg.To)
 		pr.enqueue(outFrame{f: f})
 	}
@@ -587,6 +649,26 @@ func (m *Mesh) inject(ar *msgArena, id, from, to dsys.ProcessID, kind string, pa
 		SentAt: m.cluster.Now(),
 	}))
 	return true
+}
+
+// injectDatagram is the datagram side-transport's delivery callback: the
+// transport already validated the frame's addressing against its own socket
+// layout; the mesh re-checks bounds and liveness and injects. Datagram
+// frames allocate one dsys.Message each — at heartbeat rates (n messages per
+// period per node) the arena optimization of the stream read loops would be
+// noise.
+func (m *Mesh) injectDatagram(from, to dsys.ProcessID, kind string, payload any) {
+	if from < 1 || int(from) > m.cfg.N || to < 1 || int(to) > m.cfg.N {
+		m.onLink("tcp.badframe", from, to)
+		return
+	}
+	if m.stopped.Load() || m.crashed[to-1].Load() || m.crashed[from-1].Load() {
+		return
+	}
+	m.cluster.Inject(&dsys.Message{
+		From: from, To: to, Kind: kind, Payload: payload,
+		SentAt: m.cluster.Now(),
+	})
 }
 
 // isTeardown reports whether a decode error is ordinary connection teardown
@@ -939,7 +1021,7 @@ func (w *peerWriter) writeWire(batch []outFrame) []outFrame {
 		// per-frame roll of the unbatched writer.
 		if fa := m.cfg.Faults; fa != nil && fa.ResetP > 0 && firstWritten >= 0 && w.conn != nil {
 			for i := range batch {
-				if w.ends[i] < 0 || !fa.chance(fa.ResetP) {
+				if w.ends[i] < 0 || !fa.Chance(fa.ResetP) {
 					continue
 				}
 				m.onLink("tcp.reset", batch[i].f.From, pr.to)
@@ -1005,7 +1087,7 @@ func (w *peerWriter) writeGob(batch []outFrame) []outFrame {
 			return append(keep, batch[i+1:]...)
 		}
 		m.wireFrames.Add(1)
-		if fa != nil && fa.chance(fa.ResetP) {
+		if fa != nil && fa.Chance(fa.ResetP) {
 			m.onLink("tcp.reset", of.f.From, pr.to)
 			w.teardown()
 			return append(batch[:0], batch[i+1:]...)

@@ -1,0 +1,78 @@
+package udpnet
+
+import (
+	"repro/internal/dsys"
+	"repro/internal/live"
+)
+
+// Mesh couples a Transport with its own live.Cluster: every message of
+// every spawned task travels as a UDP datagram. This is the all-UDP
+// counterpart of tcpnet.Mesh — the detectors run on it unchanged, and the
+// soak test and the E18 scenario rows use it to measure detector QoS on a
+// transport that genuinely loses, duplicates and reorders.
+//
+// Protocols that need reliable links (consensus, the replicated log) should
+// not run on a plain Mesh under loss; that is what the mixed mode is for
+// (tcpnet.Config.Datagram carrying only the loss-tolerant detector kinds).
+type Mesh struct {
+	tr      *Transport
+	cluster *live.Cluster
+}
+
+// New builds the mesh: one datagram socket per process, read loops running,
+// delivery armed into a fresh live cluster. Processes are added with Spawn,
+// exactly as with tcpnet.Mesh.
+func New(cfg Config) (*Mesh, error) {
+	tr, err := NewTransport(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mesh{tr: tr}
+	m.cluster = live.NewCluster(live.Config{
+		N:         cfg.N,
+		Trace:     cfg.Trace,
+		Log:       cfg.Log,
+		Transport: tr.Send,
+	})
+	tr.Start(m.inject)
+	return m, nil
+}
+
+// inject delivers one validated inbound frame into the cluster (the
+// transport already checked addressing and crash state; Cluster.Inject
+// re-drops for a racing crash or stop).
+func (m *Mesh) inject(from, to dsys.ProcessID, kind string, payload any) {
+	m.cluster.Inject(&dsys.Message{
+		From: from, To: to, Kind: kind, Payload: payload,
+		SentAt: m.cluster.Now(),
+	})
+}
+
+// Cluster returns the underlying live cluster (for Now, Crashed, etc.).
+func (m *Mesh) Cluster() *live.Cluster { return m.cluster }
+
+// Transport returns the underlying datagram transport (for Stats, Rebind,
+// Addr).
+func (m *Mesh) Transport() *Transport { return m.tr }
+
+// Spawn starts a task of process id. In single-process mode only the local
+// process (Config.Self) can host tasks.
+func (m *Mesh) Spawn(id dsys.ProcessID, name string, fn dsys.TaskFunc) {
+	if self := m.tr.cfg.Self; self != 0 && id != self {
+		panic("udpnet: single-process mesh hosts only " + self.String() + "; cannot spawn tasks of " + id.String())
+	}
+	m.cluster.Spawn(id, name, fn)
+}
+
+// Crash permanently crashes process id: its tasks are unwound, its socket
+// closes, and the transport stops carrying traffic to and from it.
+func (m *Mesh) Crash(id dsys.ProcessID) {
+	m.tr.Crash(id)
+	m.cluster.Crash(id)
+}
+
+// Stop closes every socket, ends the read loops and unwinds the cluster.
+func (m *Mesh) Stop() {
+	m.tr.Stop()
+	m.cluster.Stop()
+}

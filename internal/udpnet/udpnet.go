@@ -1,0 +1,448 @@
+// Package udpnet carries cluster messages as UDP datagrams: one wire frame
+// per datagram, no connections, no reconnect machinery, no queues — a send
+// either reaches the destination socket or it doesn't. This is the paper's
+// link model made literal: Section 4 only asks fair-lossy links of the
+// leader's heartbeat path, so heartbeat and ring-beat traffic tolerates
+// loss, duplication and reordering by design, and running it over TCP both
+// over-promises (reliable ordered delivery) and under-tests (no real loss
+// ever reaches the detector) while TCP head-of-line blocking sits on the
+// hot path.
+//
+// The package offers two shapes:
+//
+//   - Transport is the bare datagram engine. tcpnet.Config.Datagram takes
+//     one so a mesh can keep control traffic (rbcast, consensus, the
+//     replicated log) on TCP streams while the detector kinds flow as
+//     datagrams — the mixed mode cmd/ecnode exposes as
+//     "heartbeat_transport": "udp".
+//   - Mesh couples a Transport with its own live.Cluster, so detectors run
+//     with ALL traffic over UDP — what the soak test and the E18 scenario
+//     matrix use.
+//
+// Frames reuse the hardened codec of package wire unchanged: a datagram is
+// exactly the bytes one TCP frame would put on a stream (4-byte big-endian
+// body length, then the body). The length prefix is redundant on a datagram
+// transport — the kernel already preserves message boundaries — and that
+// redundancy is the sanity check: a datagram whose prefix disagrees with its
+// actual size was truncated or corrupted and is dropped before the body
+// decoder runs, and wire.DecodeFrame's trailing-bytes rejection enforces
+// one-frame-per-datagram. Hostile input never panics (FuzzUDPFrameRoundTrip).
+//
+// Faults (drops, duplication, reordering, asymmetric per-link delay,
+// jitter, partitions) can be injected via Config.Faults; see the Faults
+// type. Natural loss needs no injection at all: a datagram to a dead or
+// absent destination simply vanishes, which is exactly the crash semantics
+// the detectors exist to observe.
+package udpnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// MaxDatagram is the largest datagram the transport sends or accepts: the
+// IPv4 UDP payload ceiling. Frames that encode larger are dropped at the
+// sender ("udp.toobig") — a datagram transport cannot fragment frames, and
+// detector traffic is orders of magnitude smaller.
+const MaxDatagram = 65507
+
+// Config parameterizes a Transport (and a Mesh, which builds one).
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Self, when non-zero, puts the transport in single-process mode: this
+	// OS process hosts only process Self. One socket is bound (at Bind) and
+	// the other N−1 processes are reached at the addresses in Peers —
+	// cmd/ecnode mode. Zero (the default) is all-in-one mode: every process
+	// gets its own loopback socket in this OS process — what the tests and
+	// experiments use.
+	Self dsys.ProcessID
+	// Bind is the local bind address (default "127.0.0.1:0"). In all-in-one
+	// mode every process binds it, so the port must stay ephemeral there; in
+	// single-process mode it is typically the fixed host:port the other
+	// processes have in their Peers maps. UDP and TCP port spaces are
+	// disjoint, so a mixed mesh binds the SAME host:port as its TCP listener
+	// and needs no extra address book.
+	Bind string
+	// Peers maps remote process ids to their datagram addresses
+	// (single-process mode only).
+	Peers map[dsys.ProcessID]string
+	// Trace receives link events ("udp.drop", "udp.dup", "udp.cut",
+	// "udp.reorder", "udp.badframe", "udp.toobig", "udp.rebind"). Optional.
+	Trace *trace.Collector
+	// Log receives task debug output (Mesh only). Optional.
+	Log io.Writer
+	// Faults, if set, injects datagram faults. Nil means a clean transport —
+	// which over loopback still makes no delivery promises.
+	Faults *Faults
+}
+
+// deliverFunc receives one validated inbound frame.
+type deliverFunc func(from, to dsys.ProcessID, kind string, payload any)
+
+// Transport is the datagram engine: local sockets, read loops, and a
+// fire-and-forget send path. It implements tcpnet.Datagram.
+type Transport struct {
+	cfg   Config
+	epoch time.Time
+
+	stopped atomic.Bool
+	crashed []atomic.Bool                 // by id-1
+	conns   []atomic.Pointer[net.UDPConn] // local sockets by id-1; nil for remote ids
+	sink    atomic.Pointer[deliverFunc]
+
+	sent      atomic.Int64
+	sentBytes atomic.Int64
+	received  atomic.Int64
+
+	mu    sync.Mutex
+	addrs []*net.UDPAddr // dial targets by id-1
+	wg    sync.WaitGroup
+}
+
+// encBufPool holds send-path encode buffers; immediate (undelayed) sends are
+// allocation-free in steady state.
+var encBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 2<<10); return &b }}
+
+// NewTransport binds the local sockets and starts their read loops. Inbound
+// frames are dropped until Start arms delivery.
+func NewTransport(cfg Config) (*Transport, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("udpnet: N must be at least 1")
+	}
+	if cfg.Self != 0 && (cfg.Self < 1 || int(cfg.Self) > cfg.N) {
+		return nil, fmt.Errorf("udpnet: Self %v out of range 1..%d", cfg.Self, cfg.N)
+	}
+	if cfg.Bind == "" {
+		cfg.Bind = "127.0.0.1:0"
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.init(); err != nil {
+			return nil, err
+		}
+	}
+	t := &Transport{
+		cfg:     cfg,
+		epoch:   time.Now(),
+		crashed: make([]atomic.Bool, cfg.N),
+		conns:   make([]atomic.Pointer[net.UDPConn], cfg.N),
+		addrs:   make([]*net.UDPAddr, cfg.N),
+	}
+	for i := 0; i < cfg.N; i++ {
+		id := dsys.ProcessID(i + 1)
+		if cfg.Self != 0 && id != cfg.Self {
+			// Remote process: resolve its dial target if configured.
+			if peer, ok := cfg.Peers[id]; ok {
+				ua, err := net.ResolveUDPAddr("udp", peer)
+				if err != nil {
+					t.Stop()
+					return nil, fmt.Errorf("udpnet: peer %v address %q: %w", id, peer, err)
+				}
+				t.addrs[i] = ua
+			}
+			continue
+		}
+		ua, err := net.ResolveUDPAddr("udp", cfg.Bind)
+		if err != nil {
+			t.Stop()
+			return nil, fmt.Errorf("udpnet: bind address %q: %w", cfg.Bind, err)
+		}
+		conn, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			t.Stop()
+			return nil, fmt.Errorf("udpnet: bind %q for p%d: %w", cfg.Bind, i+1, err)
+		}
+		t.conns[i].Store(conn)
+		t.addrs[i] = conn.LocalAddr().(*net.UDPAddr)
+		t.wg.Add(1)
+		go t.readLoop(id, conn)
+	}
+	return t, nil
+}
+
+// Start arms inbound delivery (tcpnet.Datagram). Frames received before
+// Start are dropped — the caller arms delivery before spawning protocol
+// tasks, so nothing meaningful is lost.
+func (t *Transport) Start(deliver func(from, to dsys.ProcessID, kind string, payload any)) {
+	d := deliverFunc(deliver)
+	t.sink.Store(&d)
+}
+
+// Addr returns the datagram address process id is reachable at ("" when
+// unknown).
+func (t *Transport) Addr(id dsys.ProcessID) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 1 || int(id) > len(t.addrs) || t.addrs[id-1] == nil {
+		return ""
+	}
+	return t.addrs[id-1].String()
+}
+
+// Stats reports cumulative datagram volume: datagrams sent, datagrams
+// received (validly decoded), and bytes sent. The mixed-transport cluster
+// experiments read it through ecnode's status response to prove heartbeats
+// actually flowed over UDP.
+func (t *Transport) Stats() (sent, received, bytes int64) {
+	return t.sent.Load(), t.received.Load(), t.sentBytes.Load()
+}
+
+// onLink records a transport event on the trace collector (nil-safe).
+func (t *Transport) onLink(event string, from, to dsys.ProcessID) {
+	t.cfg.Trace.OnLink(event, from, to, time.Since(t.epoch))
+}
+
+// Crash stops carrying traffic to and from id and closes its local socket
+// (tcpnet.Datagram). Datagrams already in flight to the closed socket
+// vanish — the crash semantics the detectors observe.
+func (t *Transport) Crash(id dsys.ProcessID) {
+	if id < 1 || int(id) > t.cfg.N {
+		return
+	}
+	t.crashed[id-1].Store(true)
+	if conn := t.conns[id-1].Swap(nil); conn != nil {
+		conn.Close()
+	}
+}
+
+// Stop closes every socket and ends the read loops (tcpnet.Datagram).
+// Idempotent. Delayed (jittered/reordered) datagrams whose timers fire
+// after Stop are discarded by the write path.
+func (t *Transport) Stop() {
+	if !t.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	for i := range t.conns {
+		if conn := t.conns[i].Swap(nil); conn != nil {
+			conn.Close()
+		}
+	}
+	t.wg.Wait()
+}
+
+// Rebind closes and re-binds every local socket on its same address — the
+// chaos knob the soak test uses for a mid-run socket close. Datagrams
+// arriving in the gap are lost (natural loss); the read loops pick up the
+// fresh socket and traffic resumes. Traced as "udp.rebind".
+func (t *Transport) Rebind() {
+	for i := range t.conns {
+		old := t.conns[i].Load()
+		if old == nil {
+			continue
+		}
+		addr := old.LocalAddr().(*net.UDPAddr)
+		old.Close()
+		var fresh *net.UDPConn
+		// The port frees asynchronously after Close; retry briefly.
+		for attempt := 0; attempt < 100; attempt++ {
+			conn, err := net.ListenUDP("udp", addr)
+			if err == nil {
+				fresh = conn
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if fresh == nil {
+			t.onLink("udp.rebindfail", dsys.None, dsys.ProcessID(i+1))
+			continue
+		}
+		if t.stopped.Load() || t.crashed[i].Load() {
+			fresh.Close()
+			continue
+		}
+		t.conns[i].Store(fresh)
+		t.onLink("udp.rebind", dsys.None, dsys.ProcessID(i+1))
+	}
+}
+
+// Send transmits one message as one datagram (tcpnet.Datagram): encode,
+// roll the injected faults, write to the destination socket. Never blocks
+// beyond the (non-blocking) socket write; a send to a crashed, stopped or
+// unknown destination is silently dropped — that IS the delivery contract.
+func (t *Transport) Send(m dsys.Message) {
+	from, to := m.From, m.To
+	if from < 1 || int(from) > t.cfg.N || to < 1 || int(to) > t.cfg.N || from == to {
+		return
+	}
+	if t.stopped.Load() || t.crashed[from-1].Load() || t.crashed[to-1].Load() {
+		return
+	}
+	fa := t.cfg.Faults
+	if fa != nil {
+		if fa.Partitioned(from, to) {
+			t.onLink("udp.cut", from, to)
+			return
+		}
+		if fa.Chance(fa.DropP) {
+			t.onLink("udp.drop", from, to)
+			return
+		}
+	}
+	bufp := encBufPool.Get().(*[]byte)
+	out, err := AppendDatagram((*bufp)[:0], &wire.Frame{From: from, To: to, Kind: m.Kind, Payload: m.Payload})
+	if err != nil {
+		encBufPool.Put(bufp)
+		t.onLink("udp.toobig", from, to)
+		return
+	}
+	*bufp = out[:0]
+	t.transmit(from, to, out, bufp)
+	if fa != nil && fa.Chance(fa.DupP) {
+		t.onLink("udp.dup", from, to)
+		// The copy rolls its own delay/jitter/reorder, so duplicates arrive
+		// decorrelated from their originals — as they do on real networks.
+		dup := append([]byte(nil), out...)
+		t.transmit(from, to, dup, nil)
+	}
+}
+
+// transmit applies the delay-shaped faults (fixed per-link delay, jitter,
+// reordering) and writes the datagram — immediately on the caller's
+// goroutine when no delay applies, else from a timer. bufp, when non-nil,
+// is the pooled buffer backing data; it is returned to the pool after an
+// immediate write, while a delayed write first copies data out of it.
+func (t *Transport) transmit(from, to dsys.ProcessID, data []byte, bufp *[]byte) {
+	var delay time.Duration
+	if fa := t.cfg.Faults; fa != nil {
+		delay = fa.linkDelay(from, to) + fa.DurationIn(fa.Jitter)
+		if fa.ReorderP > 0 && fa.Chance(fa.ReorderP) {
+			t.onLink("udp.reorder", from, to)
+			delay += fa.DurationIn(fa.ReorderWindow) + time.Millisecond
+		}
+	}
+	if delay <= 0 {
+		t.write(from, to, data)
+		if bufp != nil {
+			encBufPool.Put(bufp)
+		}
+		return
+	}
+	held := data
+	if bufp != nil {
+		held = append([]byte(nil), data...)
+		encBufPool.Put(bufp)
+	}
+	time.AfterFunc(delay, func() { t.write(from, to, held) })
+}
+
+// write puts one encoded datagram on the wire. All failure modes — stopped
+// transport, crashed endpoint, missing peer address, socket error — degrade
+// to loss, never to an error: datagram delivery is best-effort by contract.
+func (t *Transport) write(from, to dsys.ProcessID, data []byte) {
+	if t.stopped.Load() || t.crashed[from-1].Load() || t.crashed[to-1].Load() {
+		return
+	}
+	src := from
+	if t.cfg.Self != 0 {
+		src = t.cfg.Self
+	}
+	conn := t.conns[src-1].Load()
+	if conn == nil {
+		return
+	}
+	t.mu.Lock()
+	dst := t.addrs[to-1]
+	t.mu.Unlock()
+	if dst == nil {
+		return
+	}
+	if _, err := conn.WriteToUDP(data, dst); err != nil {
+		return // socket closed under us (Crash/Stop/Rebind): natural loss
+	}
+	t.sent.Add(1)
+	t.sentBytes.Add(int64(len(data)))
+}
+
+// readLoop receives datagrams addressed to process id, decodes and
+// validates them, and hands them to the armed sink. A read error checks for
+// a rebound socket (Rebind) before giving up.
+func (t *Transport) readLoop(id dsys.ProcessID, conn *net.UDPConn) {
+	defer t.wg.Done()
+	buf := make([]byte, MaxDatagram+1)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			fresh := t.awaitConn(id, conn)
+			if fresh == nil {
+				return
+			}
+			conn = fresh
+			continue
+		}
+		f, derr := DecodeDatagram(buf[:n])
+		if derr != nil {
+			t.onLink("udp.badframe", dsys.None, id)
+			continue
+		}
+		// A frame addressed to some other process arriving on this socket is
+		// as invalid as an out-of-range sender.
+		if f.From < 1 || int(f.From) > t.cfg.N || f.To != id {
+			t.onLink("udp.badframe", f.From, id)
+			continue
+		}
+		if t.stopped.Load() || t.crashed[id-1].Load() || t.crashed[f.From-1].Load() {
+			continue
+		}
+		t.received.Add(1)
+		if sink := t.sink.Load(); sink != nil {
+			(*sink)(f.From, f.To, f.Kind, f.Payload)
+		}
+	}
+}
+
+// awaitConn waits briefly for Rebind to publish a fresh socket for id after
+// a read error; nil means the transport (or this process) is done.
+func (t *Transport) awaitConn(id dsys.ProcessID, old *net.UDPConn) *net.UDPConn {
+	for attempt := 0; attempt < 400; attempt++ {
+		if t.stopped.Load() || t.crashed[id-1].Load() {
+			return nil
+		}
+		if c := t.conns[id-1].Load(); c != nil && c != old {
+			return c
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
+// AppendDatagram appends the full datagram encoding of f to dst — identical
+// bytes to what tcpnet would write on a stream for the same frame — and
+// enforces the datagram size ceiling.
+func AppendDatagram(dst []byte, f *wire.Frame) ([]byte, error) {
+	start := len(dst)
+	out, err := wire.AppendFrame(dst, f)
+	if err != nil {
+		return dst[:start], err
+	}
+	if len(out)-start > MaxDatagram {
+		return dst[:start], fmt.Errorf("udpnet: frame encodes to %d bytes, above MaxDatagram (%d)", len(out)-start, MaxDatagram)
+	}
+	return out, nil
+}
+
+// DecodeDatagram decodes one received datagram: the 4-byte length prefix
+// must agree exactly with the datagram's actual size (a disagreement means
+// truncation or corruption), the body must decode, and wire.DecodeFrame's
+// trailing-bytes rejection enforces one frame per datagram. Hostile input
+// returns an error wrapping wire.ErrMalformed and never panics.
+func DecodeDatagram(b []byte) (wire.Frame, error) {
+	if len(b) < 4 {
+		return wire.Frame{}, fmt.Errorf("%w: datagram %d bytes, below the 4-byte length prefix", wire.ErrMalformed, len(b))
+	}
+	n := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	if n > wire.MaxFrameLen {
+		return wire.Frame{}, fmt.Errorf("%w: length prefix %d exceeds MaxFrameLen", wire.ErrMalformed, n)
+	}
+	if int64(n) != int64(len(b)-4) {
+		return wire.Frame{}, fmt.Errorf("%w: length prefix %d disagrees with datagram body %d", wire.ErrMalformed, n, len(b)-4)
+	}
+	return wire.DecodeFrame(b[4:])
+}
