@@ -6,11 +6,21 @@
 //
 //	go test -run '^$' -bench=. -benchmem ./... | benchjson -o BENCH.json
 //	benchjson -o BENCH.json bench_output.txt
+//	benchjson -gate BENCH_PR10.json -metric allocs/event -max-ratio 1.5 bench_output.txt
 //
 // Every `Benchmark...` result line becomes one entry: the name (GOMAXPROCS
 // suffix stripped), the iteration count, and a metrics map of every
 // value/unit pair on the line — ns/op, B/op, allocs/op and any custom
 // b.ReportMetric units such as events/s or allocs/event.
+//
+// With -gate, the parsed run is additionally compared against a committed
+// baseline document: every baseline benchmark carrying the gated metric must
+// appear in the current run with its value at or below -max-ratio times the
+// baseline value (a small absolute floor forgives quantization around
+// near-zero baselines). Any regression — or a gated benchmark missing from
+// the run — exits 1 and lists the violations. The gate is meant for
+// machine-independent metrics such as allocs/event: allocation counts are
+// stable across hosts, so CI can enforce them without a calibrated runner.
 package main
 
 import (
@@ -65,7 +75,7 @@ func parseLine(line string) (benchmark, bool) {
 	return b, true
 }
 
-func run(in io.Reader, out io.Writer) error {
+func parse(in io.Reader) (document, error) {
 	doc := document{Benchmarks: []benchmark{}}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -74,16 +84,64 @@ func run(in io.Reader, out io.Writer) error {
 			doc.Benchmarks = append(doc.Benchmarks, b)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return err
+	return doc, sc.Err()
+}
+
+func run(in io.Reader, out io.Writer) (document, error) {
+	doc, err := parse(in)
+	if err != nil {
+		return doc, err
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return doc, enc.Encode(doc)
+}
+
+// gateFloor is the absolute ceiling floor for gated metrics: a baseline of
+// (near) zero would otherwise make any nonzero measurement a failure, so the
+// ceiling never drops below this.
+const gateFloor = 0.01
+
+// gate checks every baseline benchmark carrying the metric against the
+// current run and returns the list of violations (empty = pass).
+func gate(cur, base document, metric string, maxRatio float64) []string {
+	curBy := make(map[string]benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	var bad []string
+	for _, bb := range base.Benchmarks {
+		bv, ok := bb.Metrics[metric]
+		if !ok {
+			continue
+		}
+		cb, ok := curBy[bb.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: gated on %q in the baseline but missing from the current run", bb.Name, metric))
+			continue
+		}
+		cv, ok := cb.Metrics[metric]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: current run has no %q metric (baseline %g)", bb.Name, metric, bv))
+			continue
+		}
+		ceil := maxRatio * bv
+		if ceil < gateFloor {
+			ceil = gateFloor
+		}
+		if cv > ceil {
+			bad = append(bad, fmt.Sprintf("%s: %s %g exceeds %g (%.2fx the baseline %g, allowed %.2fx)",
+				bb.Name, metric, cv, ceil, cv/bv, bv, maxRatio))
+		}
+	}
+	return bad
 }
 
 func main() {
 	outPath := flag.String("o", "", "write JSON to this file instead of stdout")
+	gatePath := flag.String("gate", "", "baseline JSON to gate against: exit 1 if the -metric of any gated benchmark regresses past -max-ratio times its baseline")
+	gateMetric := flag.String("metric", "allocs/event", "metric to gate on with -gate")
+	maxRatio := flag.Float64("max-ratio", 1.5, "allowed current/baseline ratio for the gated metric")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -106,8 +164,28 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	if err := run(in, out); err != nil {
+	doc, err := run(in, out)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *gatePath != "" {
+		raw, err := os.ReadFile(*gatePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base document
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing baseline %s: %v\n", *gatePath, err)
+			os.Exit(1)
+		}
+		if bad := gate(doc, base, *gateMetric, *maxRatio); len(bad) > 0 {
+			for _, line := range bad {
+				fmt.Fprintln(os.Stderr, "benchjson: GATE FAIL:", line)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate ok: %q within %.2fx of %s for all gated benchmarks\n", *gateMetric, *maxRatio, *gatePath)
 	}
 }

@@ -44,7 +44,7 @@ BenchmarkB      200    25 ns/op
 PASS
 `)
 	var out strings.Builder
-	if err := run(in, &out); err != nil {
+	if _, err := run(in, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -53,4 +53,63 @@ PASS
 			t.Errorf("output missing %s:\n%s", want, got)
 		}
 	}
+}
+
+func mkDoc(entries map[string]map[string]float64) document {
+	var d document
+	for name, m := range entries {
+		d.Benchmarks = append(d.Benchmarks, benchmark{Name: name, Iterations: 1, Metrics: m})
+	}
+	return d
+}
+
+func TestGate(t *testing.T) {
+	base := mkDoc(map[string]map[string]float64{
+		"BenchmarkSend":  {"allocs/event": 0.03, "events/s": 4e6},
+		"BenchmarkTimer": {"allocs/event": 0.024},
+		"BenchmarkOther": {"ns/op": 100}, // no gated metric: never checked
+	})
+
+	t.Run("pass within ratio", func(t *testing.T) {
+		cur := mkDoc(map[string]map[string]float64{
+			"BenchmarkSend":  {"allocs/event": 0.044},
+			"BenchmarkTimer": {"allocs/event": 0.01},
+		})
+		if bad := gate(cur, base, "allocs/event", 1.5); len(bad) != 0 {
+			t.Errorf("expected pass, got violations: %v", bad)
+		}
+	})
+
+	t.Run("fail beyond ratio", func(t *testing.T) {
+		cur := mkDoc(map[string]map[string]float64{
+			"BenchmarkSend":  {"allocs/event": 0.046},
+			"BenchmarkTimer": {"allocs/event": 0.024},
+		})
+		bad := gate(cur, base, "allocs/event", 1.5)
+		if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkSend") {
+			t.Errorf("expected one BenchmarkSend violation, got %v", bad)
+		}
+	})
+
+	t.Run("missing benchmark fails", func(t *testing.T) {
+		cur := mkDoc(map[string]map[string]float64{
+			"BenchmarkSend": {"allocs/event": 0.03},
+		})
+		bad := gate(cur, base, "allocs/event", 1.5)
+		if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkTimer") {
+			t.Errorf("expected missing-BenchmarkTimer violation, got %v", bad)
+		}
+	})
+
+	t.Run("near-zero baseline uses absolute floor", func(t *testing.T) {
+		zbase := mkDoc(map[string]map[string]float64{"BenchmarkZ": {"allocs/event": 0}})
+		ok := mkDoc(map[string]map[string]float64{"BenchmarkZ": {"allocs/event": 0.009}})
+		if bad := gate(ok, zbase, "allocs/event", 1.5); len(bad) != 0 {
+			t.Errorf("value under the floor should pass a zero baseline, got %v", bad)
+		}
+		over := mkDoc(map[string]map[string]float64{"BenchmarkZ": {"allocs/event": 0.5}})
+		if bad := gate(over, zbase, "allocs/event", 1.5); len(bad) != 1 {
+			t.Errorf("value over the floor should fail a zero baseline, got %v", bad)
+		}
+	})
 }

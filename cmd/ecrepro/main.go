@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	ecrepro [-quick] [-only E3,E5] [-parallel N]
+//	ecrepro [-quick] [-only E3,E5] [-parallel N] [-n N]
 package main
 
 import (
@@ -30,6 +30,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced parameter sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E3,E5); default all")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines per experiment (1 = sequential); tables are identical for every value")
+	nOverride := flag.Int("n", 0, "override the E14 scaling sweep's process counts with a single n (the Θ(n²) heartbeat still only runs at n ≤ 256)")
 	flag.Parse()
 
 	if *parallel < 1 {
@@ -38,6 +39,20 @@ func main() {
 		os.Exit(2)
 	}
 	expt.SetParallelism(*parallel)
+	nSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "n" {
+			nSet = true
+		}
+	})
+	if nSet {
+		if *nOverride < 1 {
+			fmt.Fprintf(os.Stderr, "ecrepro: -n must be at least 1 (got %d)\n", *nOverride)
+			flag.Usage()
+			os.Exit(2)
+		}
+		expt.SetE14Sizes(*nOverride)
+	}
 	experiments := expt.Experiments()
 
 	valid := make(map[string]bool, len(experiments))

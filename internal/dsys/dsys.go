@@ -14,8 +14,6 @@ package dsys
 import (
 	"fmt"
 	"math/rand"
-	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -85,46 +83,6 @@ func (k KindMatch) Match(m *Message) bool { return m.Kind == string(k) }
 
 // MatchedKind implements KindMatcher.
 func (k KindMatch) MatchedKind() string { return string(k) }
-
-// kindMatchers interns the KindMatcher of every kind ever requested, so the
-// ubiquitous Recv(MatchKind(kind)) inside a receive loop does not pay an
-// interface-boxing allocation per call. Message kinds are a small static set
-// of protocol constants, so the table stays tiny; it is published
-// copy-on-write through an atomic pointer so the hot read path is one plain
-// map lookup with no locking.
-var (
-	kindMatchers   atomic.Pointer[map[string]KindMatcher]
-	kindMatchersMu sync.Mutex
-)
-
-// MatchKind returns the matcher accepting any message of the given kind.
-// The returned value is interned: calling MatchKind in a hot receive loop
-// allocates nothing after the first call for a kind.
-func MatchKind(kind string) KindMatcher {
-	if m := kindMatchers.Load(); m != nil {
-		if v, ok := (*m)[kind]; ok {
-			return v
-		}
-	}
-	kindMatchersMu.Lock()
-	defer kindMatchersMu.Unlock()
-	old := kindMatchers.Load()
-	if old != nil {
-		if v, ok := (*old)[kind]; ok {
-			return v
-		}
-	}
-	next := make(map[string]KindMatcher)
-	if old != nil {
-		for k, v := range *old {
-			next[k] = v
-		}
-	}
-	v := KindMatcher(KindMatch(kind))
-	next[kind] = v
-	kindMatchers.Store(&next)
-	return v
-}
 
 // MatchAny accepts every message.
 var MatchAny Matcher = MatchFunc(func(*Message) bool { return true })

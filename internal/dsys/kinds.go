@@ -1,0 +1,105 @@
+package dsys
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Message kinds are a small static set of protocol constants, but they are
+// strings, and the runtimes' hottest dispatch structures (parked-task lanes,
+// receive-buffer indexes) want to be plain slices instead of string-keyed
+// maps. The kind table interns every kind ever mentioned into a dense int32
+// id and memoizes one KindMatcher per kind, so the ubiquitous
+// Recv(MatchKind(kind)) inside a receive loop does not pay an
+// interface-boxing allocation per call and a runtime can turn a kind into an
+// array index with a single map read at the system boundary (Send, park).
+// Ids are process-global and only ever grow; nothing may depend on their
+// numeric values (they vary with which packages ran first), only on their
+// stability and density.
+//
+// The table is published copy-on-write through an atomic pointer so the hot
+// read path is one plain map lookup with no locking.
+type kindTable struct {
+	ids      map[string]int32
+	matchers map[string]KindMatcher
+}
+
+var (
+	kinds   atomic.Pointer[kindTable]
+	kindsMu sync.Mutex
+)
+
+// KindIDMatcher is the optional extension of KindMatcher for matchers that
+// carry their kind's interned id, letting runtimes index dispatch structures
+// without a string lookup. MatchKind's result implements it.
+type KindIDMatcher interface {
+	KindMatcher
+	// MatchedKindID returns KindID(MatchedKind()).
+	MatchedKindID() int32
+}
+
+// internedKind is the matcher MatchKind returns: a KindMatch that also knows
+// its interned id.
+type internedKind struct {
+	kind string
+	id   int32
+}
+
+// Match implements Matcher.
+func (k internedKind) Match(m *Message) bool { return m.Kind == k.kind }
+
+// MatchedKind implements KindMatcher.
+func (k internedKind) MatchedKind() string { return k.kind }
+
+// MatchedKindID implements KindIDMatcher.
+func (k internedKind) MatchedKindID() int32 { return k.id }
+
+// intern returns the id and memoized matcher of kind, registering it on
+// first sight.
+func intern(kind string) (int32, KindMatcher) {
+	if t := kinds.Load(); t != nil {
+		if id, ok := t.ids[kind]; ok {
+			return id, t.matchers[kind]
+		}
+	}
+	kindsMu.Lock()
+	defer kindsMu.Unlock()
+	old := kinds.Load()
+	if old != nil {
+		if id, ok := old.ids[kind]; ok {
+			return id, old.matchers[kind]
+		}
+	}
+	next := &kindTable{ids: make(map[string]int32), matchers: make(map[string]KindMatcher)}
+	if old != nil {
+		for k, v := range old.ids {
+			next.ids[k] = v
+		}
+		for k, v := range old.matchers {
+			next.matchers[k] = v
+		}
+	}
+	id := int32(len(next.ids))
+	next.ids[kind] = id
+	next.matchers[kind] = internedKind{kind: kind, id: id}
+	kinds.Store(next)
+	return id, next.matchers[kind]
+}
+
+// MatchKind returns the matcher accepting any message of the given kind.
+// The returned value is interned: calling MatchKind in a hot receive loop
+// allocates nothing after the first call for a kind. It implements
+// KindIDMatcher.
+func MatchKind(kind string) KindMatcher {
+	_, m := intern(kind)
+	return m
+}
+
+// KindID returns the dense interned id of a message kind, registering the
+// kind on first sight. Ids are stable for the life of the process and
+// contiguous from 0, so they can index arrays; their numeric values carry no
+// meaning beyond that.
+func KindID(kind string) int32 {
+	id, _ := intern(kind)
+	return id
+}

@@ -40,6 +40,10 @@ func TestE12(t *testing.T) { runExp(t, "E12", E12DetectorQoS) }
 func TestE13(t *testing.T) { runExp(t, "E13", E13MeshChaos) }
 func TestE14(t *testing.T) { runExp(t, "E14", E14ScalingSweep) }
 
+// TestE19 is the soak's quick smoke: 90 seconds of virtual time through the
+// same churn + GST-oscillation machinery the full hours-long soak uses.
+func TestE19(t *testing.T) { runExp(t, "E19", E19LongHorizonSoak) }
+
 // E16 spawns real OS processes (ecnode/ecload) and injects SIGKILLs; in
 // -short mode it is skipped like the cross-process tests of
 // internal/cluster.

@@ -94,7 +94,7 @@ func runTrials[R any](n int, trial func(i int) R) []R {
 
 // Experiment is one entry of the suite registry.
 type Experiment struct {
-	// ID is the experiment identifier ("E1".."E18").
+	// ID is the experiment identifier ("E1".."E19").
 	ID string
 	// Fn runs the experiment (quick mode reduces sweeps).
 	Fn func(quick bool) (*Table, error)
@@ -125,6 +125,7 @@ func Experiments() []Experiment {
 		{ID: "E16", Fn: E16ClusterKillRestart, WallClock: true},
 		{ID: "E17", Fn: E17PipelineThroughput, WallClock: true},
 		{ID: "E18", Fn: E18ScenarioMatrix, WallClock: true},
+		{ID: "E19", Fn: E19LongHorizonSoak},
 	}
 }
 

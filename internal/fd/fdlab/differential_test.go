@@ -1,0 +1,87 @@
+package fdlab_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dsys"
+	"repro/internal/fd/fdlab"
+	"repro/internal/fd/fdtest"
+	"repro/internal/fd/heartbeat"
+	"repro/internal/fd/ring"
+	"repro/internal/fd/transform"
+)
+
+// TestCallbackGoroutineDifferential is the execution-scheme differential test
+// backing the kernel's goroutine-free fast path: every detector run must be
+// bit-identical whether its loop tasks run as resumable callbacks on the
+// kernel goroutine (the default) or as blocking tasks each on its own
+// goroutine (Setup.GoroutineTasks — the pre-optimization scheme, kept
+// exactly for this comparison). The experiment tables are a function of the
+// sampled detector outputs and the message log, so equality here is what
+// keeps every table byte-identical across the two schemes.
+//
+// The setups cover each loop shape the detectors use: immediate and
+// sleep-first tick loops, single- and multi-kind receive loops, and the
+// Setup-hook spawn (transform's Task 4 inside Task 3's loop), under partial
+// synchrony chosen to force false suspicions, retractions and list adoptions
+// — the paths where a divergence in scheduling order would surface.
+func TestCallbackGoroutineDifferential(t *testing.T) {
+	period := 10 * time.Millisecond
+	cases := []struct {
+		name  string
+		seed  int64
+		build func(p dsys.Proc) any
+	}{
+		{"heartbeat", 4201, func(p dsys.Proc) any {
+			return heartbeat.Start(p, heartbeat.Options{Period: period})
+		}},
+		{"ring", 4202, func(p dsys.Proc) any {
+			return ring.Start(p, ring.Options{Period: period})
+		}},
+		{"transform", 4203, func(p dsys.Proc) any {
+			return transform.Start(p, fdtest.NewScripted(1), transform.Options{Period: period})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(goroutines bool) fdlab.Result {
+				return fdlab.Run(fdlab.Setup{
+					N:    8,
+					Seed: tc.seed,
+					// GST after several periods with Δ above the initial
+					// timeout: pre-GST delays cause false suspicions and
+					// retractions before the run settles.
+					Net:            fdlab.PartialSync(300*time.Millisecond, 35*time.Millisecond),
+					Crashes:        map[dsys.ProcessID]time.Duration{3: 600 * time.Millisecond},
+					Build:          tc.build,
+					RunFor:         1200 * time.Millisecond,
+					GoroutineTasks: goroutines,
+				})
+			}
+			cb, gr := run(false), run(true)
+			if cb.Events != gr.Events {
+				t.Errorf("event count: callback %d vs goroutine %d", cb.Events, gr.Events)
+			}
+			if cb.End != gr.End {
+				t.Errorf("end time: callback %v vs goroutine %v", cb.End, gr.End)
+			}
+			for _, id := range dsys.Pids(8) {
+				a, b := cb.Trace.Rec.Samples(id), gr.Trace.Rec.Samples(id)
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("process %v: sampled detector outputs diverge (%d vs %d samples)", id, len(a), len(b))
+				}
+			}
+			a, b := cb.Messages.Events(), gr.Messages.Events()
+			if len(a) != len(b) {
+				t.Fatalf("message log length: callback %d vs goroutine %d", len(a), len(b))
+			}
+			for i := range a {
+				if !reflect.DeepEqual(a[i], b[i]) {
+					t.Fatalf("message log diverges at entry %d: callback %+v vs goroutine %+v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}

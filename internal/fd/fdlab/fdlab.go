@@ -32,6 +32,11 @@ type Setup struct {
 	SampleEvery time.Duration
 	// RunFor is the virtual duration of the run (default 2s).
 	RunFor time.Duration
+	// GoroutineTasks forces every detector loop task onto the kernel's
+	// blocking goroutine path instead of the callback fast path. The two
+	// execution schemes are required to produce bit-identical runs; the
+	// differential tests flip this switch and compare whole traces.
+	GoroutineTasks bool
 	// CountWindow, when non-zero, puts the trace collector in windowed-count
 	// mode: per-kind sends are tallied for [CountWindow[0], CountWindow[1])
 	// (read back via Result.Messages.SentWithin) and the per-message log is
@@ -68,7 +73,7 @@ func Run(s Setup) Result {
 		col.LogMessages = false
 		col.SetCountWindow(s.CountWindow[0], s.CountWindow[1])
 	}
-	k := sim.New(sim.Config{N: s.N, Network: s.Net, Seed: s.Seed, Trace: col})
+	k := sim.New(sim.Config{N: s.N, Network: s.Net, Seed: s.Seed, Trace: col, GoroutineTasks: s.GoroutineTasks})
 	rec := check.NewFDRecorder(s.N)
 	modules := make(map[dsys.ProcessID]any, s.N)
 	for _, id := range dsys.Pids(s.N) {

@@ -125,9 +125,11 @@ func Start(p dsys.Proc, opt Options) *Detector {
 			d.timeout[q] = opt.InitialTimeout
 		}
 	}
-	p.Spawn("hb-send", d.sendTask)
-	p.Spawn("hb-recv", d.recvTask)
-	p.Spawn("hb-check", d.checkTask)
+	// Declared as loop tasks so the simulator can run them goroutine-free;
+	// spawn order and task shape exactly mirror the blocking originals.
+	dsys.SpawnTickLoop(p, "hb-send", dsys.TickLoop{Period: opt.Period, Immediate: true, Fn: d.sendStep})
+	dsys.SpawnRecvLoop(p, "hb-recv", d.recvStep, KindAlive)
+	dsys.SpawnTickLoop(p, "hb-check", dsys.TickLoop{Period: opt.CheckInterval, Fn: d.checkStep})
 	return d
 }
 
@@ -153,44 +155,37 @@ func (d *Detector) Timeout(q dsys.ProcessID) time.Duration {
 	return d.timeout[q]
 }
 
-func (d *Detector) sendTask(p dsys.Proc) {
-	for {
-		for _, q := range p.All() {
-			if q != d.self {
-				p.Send(q, KindAlive, nil)
-			}
+// sendStep is one heartbeat period: I-AM-ALIVE to everyone else.
+func (d *Detector) sendStep(p dsys.Proc) {
+	for _, q := range p.All() {
+		if q != d.self {
+			p.Send(q, KindAlive, nil)
 		}
-		p.Sleep(d.opt.Period)
 	}
 }
 
-func (d *Detector) recvTask(p dsys.Proc) {
-	for {
-		m, ok := p.Recv(dsys.MatchKind(KindAlive))
-		if !ok {
-			return
-		}
-		d.mu.Lock()
-		now := p.Now()
-		gap := now - d.lastHeard[m.From]
-		d.lastHeard[m.From] = now
-		wasSuspected := d.suspected.Has(m.From)
-		if wasSuspected {
-			d.suspected.Remove(m.From)
-			d.falseSusp++
-		}
-		if !d.opt.FixedTimeout {
-			switch d.opt.Policy {
-			case PolicyAdditive:
-				if wasSuspected {
-					d.timeout[m.From] += d.opt.TimeoutIncrement
-				}
-			case PolicyJacobson:
-				d.observeGapLocked(m.From, gap)
-			}
-		}
-		d.mu.Unlock()
+// recvStep handles one I-AM-ALIVE message.
+func (d *Detector) recvStep(p dsys.Proc, m *dsys.Message) {
+	d.mu.Lock()
+	now := p.Now()
+	gap := now - d.lastHeard[m.From]
+	d.lastHeard[m.From] = now
+	wasSuspected := d.suspected.Has(m.From)
+	if wasSuspected {
+		d.suspected.Remove(m.From)
+		d.falseSusp++
 	}
+	if !d.opt.FixedTimeout {
+		switch d.opt.Policy {
+		case PolicyAdditive:
+			if wasSuspected {
+				d.timeout[m.From] += d.opt.TimeoutIncrement
+			}
+		case PolicyJacobson:
+			d.observeGapLocked(m.From, gap)
+		}
+	}
+	d.mu.Unlock()
 }
 
 // observeGapLocked folds one inter-arrival gap into the Jacobson estimator
@@ -217,19 +212,17 @@ func (d *Detector) observeGapLocked(q dsys.ProcessID, gap time.Duration) {
 	d.timeout[q] = to
 }
 
-func (d *Detector) checkTask(p dsys.Proc) {
-	for {
-		p.Sleep(d.opt.CheckInterval)
-		now := p.Now()
-		d.mu.Lock()
-		for _, q := range p.All() {
-			if q == d.self || d.suspected.Has(q) {
-				continue
-			}
-			if now-d.lastHeard[q] > d.timeout[q] {
-				d.suspected.Add(q)
-			}
+// checkStep is one expiry evaluation over all monitored processes.
+func (d *Detector) checkStep(p dsys.Proc) {
+	now := p.Now()
+	d.mu.Lock()
+	for _, q := range p.All() {
+		if q == d.self || d.suspected.Has(q) {
+			continue
 		}
-		d.mu.Unlock()
+		if now-d.lastHeard[q] > d.timeout[q] {
+			d.suspected.Add(q)
+		}
 	}
+	d.mu.Unlock()
 }

@@ -138,9 +138,12 @@ func Start(p dsys.Proc, opt Options) *Detector {
 		}
 	}
 	d.pred = d.nearestPred()
-	p.Spawn("ring-beat", d.beatTask)
-	p.Spawn("ring-recv", d.recvTask)
-	p.Spawn("ring-check", d.checkTask)
+	// Declared as loop tasks so the simulator can run them goroutine-free;
+	// spawn order, task shape (body-then-sleep vs sleep-then-body) and
+	// receive kinds exactly mirror the blocking originals.
+	dsys.SpawnTickLoop(p, "ring-beat", dsys.TickLoop{Period: opt.Period, Immediate: true, Fn: d.beatStep})
+	dsys.SpawnRecvLoop(p, "ring-recv", d.recvStep, KindBeat, KindWatch)
+	dsys.SpawnTickLoop(p, "ring-check", dsys.TickLoop{Period: opt.CheckInterval, Fn: d.checkStep})
 	return d
 }
 
@@ -246,139 +249,129 @@ func (d *Detector) setPred(p dsys.Proc, q dsys.ProcessID) {
 	p.Send(q, KindWatch, nil)
 }
 
-func (d *Detector) beatTask(p dsys.Proc) {
-	for {
-		d.mu.Lock()
-		targets := fd.Set{}
-		if s := d.nearestSucc(); s != dsys.None {
-			targets.Add(s)
+// beatStep is one heartbeat period: send the suspect list to the nearest
+// non-suspected successor and every live watcher.
+func (d *Detector) beatStep(p dsys.Proc) {
+	d.mu.Lock()
+	targets := fd.Set{}
+	if s := d.nearestSucc(); s != dsys.None {
+		targets.Add(s)
+	}
+	now := p.Now()
+	for w, exp := range d.watchers {
+		if exp <= now {
+			delete(d.watchers, w)
+		} else {
+			targets.Add(w)
 		}
-		now := p.Now()
-		for w, exp := range d.watchers {
-			if exp <= now {
-				delete(d.watchers, w)
-			} else {
-				targets.Add(w)
-			}
-		}
-		list := d.susp.Members()
-		ready := d.ready
-		d.mu.Unlock()
-		if ready != nil && !ready() {
-			// Mark leadership deferral by listing ourselves in our own beat
-			// — no recipient ever suspects the process it just heard from,
-			// so the self-entry is unambiguous and costs no extra message.
-			list = append(list, d.self)
-		}
-		for _, q := range targets.Members() {
-			p.Send(q, KindBeat, list)
-		}
-		p.Sleep(d.opt.Period)
+	}
+	list := d.susp.Members()
+	ready := d.ready
+	d.mu.Unlock()
+	if ready != nil && !ready() {
+		// Mark leadership deferral by listing ourselves in our own beat
+		// — no recipient ever suspects the process it just heard from,
+		// so the self-entry is unambiguous and costs no extra message.
+		list = append(list, d.self)
+	}
+	for _, q := range targets.Members() {
+		p.Send(q, KindBeat, list)
 	}
 }
 
-func (d *Detector) recvTask(p dsys.Proc) {
-	match := dsys.MatchFunc(func(m *dsys.Message) bool { return m.Kind == KindBeat || m.Kind == KindWatch })
-	for {
-		m, ok := p.Recv(match)
-		if !ok {
-			return
-		}
-		d.mu.Lock()
-		switch m.Kind {
-		case KindWatch:
-			d.watchers[m.From] = p.Now() + d.opt.WatchTTL
-		case KindBeat:
-			d.lastHeard[m.From] = p.Now()
-			beat, _ := m.Payload.([]dsys.ProcessID)
-			selfMarked := false
-			for _, q := range beat {
-				if q == m.From {
-					selfMarked = true
-					break
-				}
-			}
-			if selfMarked {
-				// The sender defers leadership (e.g. it is replaying its log
-				// after a restart). The mark expires on its own so a stale
-				// entry cannot outlive the sender's beats if the ring is
-				// re-stitched away from us.
-				d.deferUntil[m.From] = p.Now() + d.opt.InitialTimeout
-			} else {
-				delete(d.deferUntil, m.From)
-			}
-			if d.susp.Has(m.From) {
-				// A falsely suspected process resurfaced: retract, back off
-				// its timeout, and re-evaluate whom to monitor.
-				d.susp.Remove(m.From)
-				d.falseSusp++
-				d.timeout[m.From] += d.opt.TimeoutIncrement
-				if np := d.nearestPred(); np != d.pred {
-					d.setPred(p, np)
-				}
-			}
-			if m.From == d.pred {
-				// Adopt the predecessor's list as the upstream truth, but
-				// keep our direct knowledge of the ring segment between the
-				// predecessor and us: those are exactly the processes we
-				// timed out on ourselves, and a predecessor that has not yet
-				// learned of their crashes (the information must travel the
-				// whole ring) must not be able to erase them.
-				newSusp := fd.Set{}
-				for _, q := range beat {
-					// q == d.pred also filters the sender's own deferral
-					// mark, which is a leadership hint, not a suspicion.
-					if q != d.self && q != d.pred {
-						newSusp.Add(q)
-					}
-				}
-				for q := d.next(d.pred); q != d.self; q = d.next(q) {
-					newSusp.Add(q)
-				}
-				d.susp = newSusp
-				d.rewatched = false
+// recvStep handles one BEAT or WATCH message.
+func (d *Detector) recvStep(p dsys.Proc, m *dsys.Message) {
+	d.mu.Lock()
+	switch m.Kind {
+	case KindWatch:
+		d.watchers[m.From] = p.Now() + d.opt.WatchTTL
+	case KindBeat:
+		d.lastHeard[m.From] = p.Now()
+		beat, _ := m.Payload.([]dsys.ProcessID)
+		selfMarked := false
+		for _, q := range beat {
+			if q == m.From {
+				selfMarked = true
+				break
 			}
 		}
-		d.mu.Unlock()
-	}
-}
-
-func (d *Detector) checkTask(p dsys.Proc) {
-	for {
-		p.Sleep(d.opt.CheckInterval)
-		now := p.Now()
-		d.mu.Lock()
-		for q, exp := range d.deferUntil {
-			if exp <= now {
-				delete(d.deferUntil, q)
-			}
+		if selfMarked {
+			// The sender defers leadership (e.g. it is replaying its log
+			// after a restart). The mark expires on its own so a stale
+			// entry cannot outlive the sender's beats if the ring is
+			// re-stitched away from us.
+			d.deferUntil[m.From] = p.Now() + d.opt.InitialTimeout
+		} else {
+			delete(d.deferUntil, m.From)
 		}
-		if d.pred == dsys.None {
-			if np := d.nearestPred(); np != dsys.None {
+		if d.susp.Has(m.From) {
+			// A falsely suspected process resurfaced: retract, back off
+			// its timeout, and re-evaluate whom to monitor.
+			d.susp.Remove(m.From)
+			d.falseSusp++
+			d.timeout[m.From] += d.opt.TimeoutIncrement
+			if np := d.nearestPred(); np != d.pred {
 				d.setPred(p, np)
 			}
-			d.mu.Unlock()
-			continue
 		}
-		if now-d.lastHeard[d.pred] > d.timeout[d.pred] {
-			if !d.rewatched {
-				// The predecessor may simply not know we are listening
-				// (e.g. it still heartbeats a process we already gave up
-				// on). Ask once more before suspecting it.
-				d.rewatched = true
-				d.lastHeard[d.pred] = now
-				d.lastWatch = now
-				p.Send(d.pred, KindWatch, nil)
-			} else {
-				d.susp.Add(d.pred)
-				d.setPred(p, d.nearestPred())
+		if m.From == d.pred {
+			// Adopt the predecessor's list as the upstream truth, but
+			// keep our direct knowledge of the ring segment between the
+			// predecessor and us: those are exactly the processes we
+			// timed out on ourselves, and a predecessor that has not yet
+			// learned of their crashes (the information must travel the
+			// whole ring) must not be able to erase them.
+			newSusp := fd.Set{}
+			for _, q := range beat {
+				// q == d.pred also filters the sender's own deferral
+				// mark, which is a leadership hint, not a suspicion.
+				if q != d.self && q != d.pred {
+					newSusp.Add(q)
+				}
 			}
-		} else if d.pred != d.prev(d.self) && now-d.lastWatch >= d.opt.WatchRenew {
-			// Keep a non-adjacent predecessor's watcher entry alive across
-			// crash gaps.
+			for q := d.next(d.pred); q != d.self; q = d.next(q) {
+				newSusp.Add(q)
+			}
+			d.susp = newSusp
+			d.rewatched = false
+		}
+	}
+	d.mu.Unlock()
+}
+
+// checkStep is one expiry evaluation of the monitored predecessor.
+func (d *Detector) checkStep(p dsys.Proc) {
+	now := p.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for q, exp := range d.deferUntil {
+		if exp <= now {
+			delete(d.deferUntil, q)
+		}
+	}
+	if d.pred == dsys.None {
+		if np := d.nearestPred(); np != dsys.None {
+			d.setPred(p, np)
+		}
+		return
+	}
+	if now-d.lastHeard[d.pred] > d.timeout[d.pred] {
+		if !d.rewatched {
+			// The predecessor may simply not know we are listening
+			// (e.g. it still heartbeats a process we already gave up
+			// on). Ask once more before suspecting it.
+			d.rewatched = true
+			d.lastHeard[d.pred] = now
 			d.lastWatch = now
 			p.Send(d.pred, KindWatch, nil)
+		} else {
+			d.susp.Add(d.pred)
+			d.setPred(p, d.nearestPred())
 		}
-		d.mu.Unlock()
+	} else if d.pred != d.prev(d.self) && now-d.lastWatch >= d.opt.WatchRenew {
+		// Keep a non-adjacent predecessor's watcher entry alive across
+		// crash gaps.
+		d.lastWatch = now
+		p.Send(d.pred, KindWatch, nil)
 	}
 }

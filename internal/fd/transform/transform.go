@@ -134,12 +134,23 @@ func Start(p dsys.Proc, under fd.LeaderOracle, opt Options) *Detector {
 			}
 		})
 	} else {
-		p.Spawn("tp-task1", d.task1)
+		dsys.SpawnTickLoop(p, "tp-task1", dsys.TickLoop{Period: opt.Period, Immediate: true, Fn: d.task1Step})
 	}
-	p.Spawn("tp-task2", d.task2)
-	p.Spawn("tp-task34", d.task34)
+	// Declared as loop tasks so the simulator can run them goroutine-free;
+	// spawn order and task shape exactly mirror the blocking originals. The
+	// combined Task 3+4 keeps its structure: the receive half (Task 4) is
+	// spawned from the check loop's Setup hook, at the very point the
+	// blocking task34 spawned it, so task creation order is unchanged.
+	dsys.SpawnTickLoop(p, "tp-task2", dsys.TickLoop{Period: opt.Period, Immediate: true, Fn: d.task2Step})
+	dsys.SpawnTickLoop(p, "tp-task34", dsys.TickLoop{
+		Period: opt.CheckInterval,
+		Setup: func(p dsys.Proc) {
+			dsys.SpawnRecvLoop(p, "tp-task4", d.task4Step, KindAlive)
+		},
+		Fn: d.task3Step,
+	})
 	if opt.Piggyback == nil {
-		p.Spawn("tp-task5", d.task5)
+		dsys.SpawnRecvLoop(p, "tp-task5", d.task5Step, KindList)
 	}
 	return d
 }
@@ -181,89 +192,71 @@ func (d *Detector) isLeader(now time.Duration) bool {
 	return leader
 }
 
-// task1: the leader periodically sends its suspect list to everyone else.
-func (d *Detector) task1(p dsys.Proc) {
-	for {
-		if d.isLeader(p.Now()) {
-			d.mu.Lock()
-			list := d.list.Members()
-			d.mu.Unlock()
-			for _, q := range p.All() {
-				if q != d.self {
-					p.Send(q, KindList, list)
-				}
-			}
+// task1Step: the leader periodically sends its suspect list to everyone
+// else.
+func (d *Detector) task1Step(p dsys.Proc) {
+	if !d.isLeader(p.Now()) {
+		return
+	}
+	d.mu.Lock()
+	list := d.list.Members()
+	d.mu.Unlock()
+	for _, q := range p.All() {
+		if q != d.self {
+			p.Send(q, KindList, list)
 		}
-		p.Sleep(d.opt.Period)
 	}
 }
 
-// task2: everyone periodically tells its trusted process it is alive.
-func (d *Detector) task2(p dsys.Proc) {
-	for {
-		if t := d.under.Trusted(); t != dsys.None && t != d.self {
-			p.Send(t, KindAlive, nil)
-		}
-		p.Sleep(d.opt.Period)
+// task2Step: everyone periodically tells its trusted process it is alive.
+func (d *Detector) task2Step(p dsys.Proc) {
+	if t := d.under.Trusted(); t != dsys.None && t != d.self {
+		p.Send(t, KindAlive, nil)
 	}
 }
 
-// task34 combines the leader's timeout scanning (Task 3) and the retraction
-// of suspicions when I-AM-ALIVE messages arrive (Task 4).
-func (d *Detector) task34(p dsys.Proc) {
-	p.Spawn("tp-task4", func(p dsys.Proc) {
-		for {
-			m, ok := p.Recv(dsys.MatchKind(KindAlive))
-			if !ok {
-				return
-			}
-			d.mu.Lock()
-			d.lastAlive[m.From] = p.Now()
-			if d.list.Has(m.From) {
-				// Task 4: the suspicion was a mistake; retract it and back
-				// off so that q is suspected only a bounded number of times
-				// once the system is stable (proof of Theorem 1).
-				d.list.Remove(m.From)
-				d.falseSusp++
-				d.timeout[m.From] += d.opt.TimeoutIncrement
-			}
-			d.mu.Unlock()
-		}
-	})
-	for {
-		p.Sleep(d.opt.CheckInterval)
-		now := p.Now()
-		if !d.isLeader(now) {
+// task3Step is the leader's periodic timeout scan (Task 3).
+func (d *Detector) task3Step(p dsys.Proc) {
+	now := p.Now()
+	if !d.isLeader(now) {
+		return
+	}
+	d.mu.Lock()
+	for _, q := range p.All() {
+		if q == d.self || d.list.Has(q) {
 			continue
 		}
-		d.mu.Lock()
-		for _, q := range p.All() {
-			if q == d.self || d.list.Has(q) {
-				continue
-			}
-			ref := d.lastAlive[q]
-			if d.leaderSince > ref {
-				ref = d.leaderSince
-			}
-			if now-ref > d.timeout[q] {
-				// Task 3: no I-AM-ALIVE within Δp(q); suspect q. The leader
-				// never suspects itself.
-				d.list.Add(q)
-			}
+		ref := d.lastAlive[q]
+		if d.leaderSince > ref {
+			ref = d.leaderSince
 		}
-		d.mu.Unlock()
+		if now-ref > d.timeout[q] {
+			// Task 3: no I-AM-ALIVE within Δp(q); suspect q. The leader
+			// never suspects itself.
+			d.list.Add(q)
+		}
 	}
+	d.mu.Unlock()
 }
 
-// task5: adopt the suspect list sent by the currently trusted process.
-func (d *Detector) task5(p dsys.Proc) {
-	for {
-		m, ok := p.Recv(dsys.MatchKind(KindList))
-		if !ok {
-			return
-		}
-		d.adopt(p, m.From, m.Payload.([]dsys.ProcessID))
+// task4Step retracts a suspicion when an I-AM-ALIVE arrives (Task 4).
+func (d *Detector) task4Step(p dsys.Proc, m *dsys.Message) {
+	d.mu.Lock()
+	d.lastAlive[m.From] = p.Now()
+	if d.list.Has(m.From) {
+		// Task 4: the suspicion was a mistake; retract it and back
+		// off so that q is suspected only a bounded number of times
+		// once the system is stable (proof of Theorem 1).
+		d.list.Remove(m.From)
+		d.falseSusp++
+		d.timeout[m.From] += d.opt.TimeoutIncrement
 	}
+	d.mu.Unlock()
+}
+
+// task5Step: adopt the suspect list sent by the currently trusted process.
+func (d *Detector) task5Step(p dsys.Proc, m *dsys.Message) {
+	d.adopt(p, m.From, m.Payload.([]dsys.ProcessID))
 }
 
 func (d *Detector) adopt(p dsys.Proc, from dsys.ProcessID, list []dsys.ProcessID) {

@@ -2,8 +2,6 @@ package sim
 
 import (
 	"time"
-
-	"repro/internal/dsys"
 )
 
 // eventKind discriminates what an event does when it fires. The hot kinds
@@ -31,14 +29,20 @@ type event struct {
 	at  time.Duration
 	seq uint64
 
-	fn  func()        // evFunc
-	msg *dsys.Message // evDeliver
-	t   *task         // evSleep, evTimeout
-	// gen is the park-generation guard of evSleep/evTimeout. uint32 keeps
-	// the event at 48 bytes (a task would need 2^32 parks in one run to wrap,
-	// orders of magnitude beyond the longest soak); events flow through slot
-	// arrays, cascades and the due-set heap by value, so their size is a
-	// direct memory-bandwidth and allocation cost.
+	fn func() // evFunc
+	t  *task  // evSleep, evTimeout
+	// msg is the arena handle of an evDeliver's in-flight message and kid
+	// its interned kind id (dsys.KindID), saving deliver the string lookup.
+	msg int32
+	kid int32
+	// gen guards the two recycling schemes: for evSleep/evTimeout it is the
+	// park generation (a stale timer for an earlier park is ignored), for
+	// evDeliver the arena slot generation at scheduling time (a mismatch at
+	// fire is a stale holder and panics). uint32 keeps the event at 48 bytes
+	// (wrapping would need 2^32 parks of one task, or recycles of one slot,
+	// in a single run — orders of magnitude beyond the longest soak); events
+	// flow through slot arrays, cascades and the due-set heap by value, so
+	// their size is a direct memory-bandwidth and allocation cost.
 	gen  uint32
 	kind eventKind
 }

@@ -3,12 +3,17 @@
 //
 // Algorithms are written in the blocking style of the paper's pseudo-code
 // ("wait until ...") as tasks — ordinary Go functions blocking in the
-// primitives of dsys.Proc. The kernel runs every task as a goroutine but
-// schedules them cooperatively: exactly one task runs at a time, control
-// switches only inside kernel primitives, simultaneous events fire in
-// scheduling order, and all randomness flows from a single seed. Two runs
-// with the same configuration are therefore bit-identical, which makes the
-// experiments in EXPERIMENTS.md reproducible and the property tests exact.
+// primitives of dsys.Proc. The kernel schedules tasks cooperatively:
+// exactly one task runs at a time, control switches only inside kernel
+// primitives, simultaneous events fire in scheduling order, and all
+// randomness flows from a single seed. Two runs with the same configuration
+// are therefore bit-identical, which makes the experiments in EXPERIMENTS.md
+// reproducible and the property tests exact.
+//
+// Blocking tasks run as goroutines under a baton-passing scheduler; tasks
+// declared as receive or tick loops (dsys.SpawnRecvLoop/SpawnTickLoop) run
+// goroutine-free as callbacks on the dispatch loop — same schedule, zero
+// context switches (see Kernel).
 //
 // Virtual time is a time.Duration since the start of the run. Timers,
 // message latencies and crashes are events in a priority queue; when no task
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
@@ -51,6 +57,11 @@ type Config struct {
 	Trace *trace.Collector
 	// Log receives task debug output (Proc.Logf). Optional.
 	Log io.Writer
+	// GoroutineTasks forces tasks spawned through SpawnRecvLoop and
+	// SpawnTickLoop onto the legacy blocking-goroutine path instead of the
+	// callback fast path. The schedule is identical either way — the
+	// differential tests compare whole runs across this flag to prove it.
+	GoroutineTasks bool
 }
 
 // Kernel is the simulation engine. Create with New, add initial tasks with
@@ -59,14 +70,17 @@ type Config struct {
 // cooperative task goroutines.
 //
 // Scheduling is baton-passing: exactly one goroutine at a time — the Run
-// caller or one task — holds the baton and executes the dispatch loop
-// (dispatch). A parking task runs the loop inline and hands the baton
+// caller or one blocking task — holds the baton and executes the dispatch
+// loop (dispatch). A parking task runs the loop inline and hands the baton
 // directly to the next task, so a park/wake cycle costs one channel handoff
 // instead of the two of a dedicated scheduler goroutine, and re-selecting
-// the task that just parked costs none. The order in which events fire and
-// tasks run is exactly the order the old dedicated-goroutine scheduler
-// produced; only the goroutine executing the loop differs, which no
-// simulated code can observe.
+// the task that just parked costs none. Callback loop tasks go further:
+// they have no goroutine, so the baton holder runs their body inline at the
+// exact point the task would otherwise have been resumed — the dominant
+// park/deliver/park cycle costs zero switches. The order in which events
+// fire and tasks run is exactly the order the old dedicated-goroutine
+// scheduler produced; only the goroutine executing each body differs, which
+// no simulated code can observe.
 type Kernel struct {
 	cfg    Config
 	now    time.Duration
@@ -74,6 +88,7 @@ type Kernel struct {
 	seq    uint64
 	taskID int
 	eq     eventQueue
+	arena  msgArena
 	// runq is a head-indexed FIFO: popped entries advance runqHead (nilling
 	// the slot) and the slice resets to [:0] when drained, so the backing
 	// array is reused instead of crawling forward and reallocating on every
@@ -93,6 +108,13 @@ type Kernel struct {
 	pids   []dsys.ProcessID
 	netRNG *rand.Rand
 	events uint64
+	// lastKind/lastKid memoize the most recent Send kind's interned id.
+	// Everything that sends is serialized on the baton (kernel goroutine or
+	// the one running task), so a plain field is race-free, and a protocol's
+	// sends are overwhelmingly runs of one kind — this turns dsys.KindID's
+	// two map lookups per send into a string compare of equal literals.
+	lastKind string
+	lastKid  int32
 	// stopping marks the final unwind phase; primitives refuse to block and
 	// sends become no-ops.
 	stopping bool
@@ -143,10 +165,22 @@ func (k *Kernel) Events() uint64 { return k.events }
 // N returns the number of processes.
 func (k *Kernel) N() int { return k.cfg.N }
 
-// Spawn adds a task to process id. It may be called before Run (initial
-// tasks) or from harness hooks during the run.
+// Spawn adds a blocking task to process id. It may be called before Run
+// (initial tasks) or from harness hooks during the run.
 func (k *Kernel) Spawn(id dsys.ProcessID, name string, fn dsys.TaskFunc) {
 	k.spawn(k.procAt(id), name, fn)
+}
+
+// SpawnRecvLoop adds a callback receive-loop task to process id (see
+// dsys.SpawnRecvLoop).
+func (k *Kernel) SpawnRecvLoop(id dsys.ProcessID, name string, fn dsys.RecvLoopFunc, kinds ...string) {
+	k.spawnRecvLoop(k.procAt(id), name, fn, kinds)
+}
+
+// SpawnTickLoop adds a callback tick-loop task to process id (see
+// dsys.SpawnTickLoop).
+func (k *Kernel) SpawnTickLoop(id dsys.ProcessID, name string, loop dsys.TickLoop) {
+	k.spawnTickLoop(k.procAt(id), name, loop)
 }
 
 func (k *Kernel) spawn(p *proc, name string, fn dsys.TaskFunc) {
@@ -158,6 +192,51 @@ func (k *Kernel) spawn(p *proc, name string, fn dsys.TaskFunc) {
 	p.tasks = append(p.tasks, t)
 	k.runq = append(k.runq, t)
 	t.start(fn)
+}
+
+func (k *Kernel) spawnRecvLoop(p *proc, name string, fn dsys.RecvLoopFunc, kinds []string) {
+	if len(kinds) == 0 {
+		panic("sim: SpawnRecvLoop needs at least one message kind")
+	}
+	if k.cfg.GoroutineTasks {
+		k.spawn(p, name, dsys.RecvLoopTask(fn, kinds...))
+		return
+	}
+	kids := make([]int32, len(kinds))
+	for i, kind := range kinds {
+		kids[i] = dsys.KindID(kind)
+	}
+	k.spawnLoop(p, name, &loopTask{recv: fn, kinds: kids, wakeSlot: -1})
+}
+
+func (k *Kernel) spawnTickLoop(p *proc, name string, loop dsys.TickLoop) {
+	if loop.Period <= 0 {
+		panic("sim: SpawnTickLoop needs a positive period")
+	}
+	if loop.Fn == nil {
+		panic("sim: SpawnTickLoop needs a body")
+	}
+	if k.cfg.GoroutineTasks {
+		k.spawn(p, name, dsys.TickLoopTask(loop))
+		return
+	}
+	k.spawnLoop(p, name, &loopTask{
+		tick: loop.Fn, setup: loop.Setup,
+		period: loop.Period, immediate: loop.Immediate,
+		wakeSlot: -1,
+	})
+}
+
+// spawnLoop registers a callback loop task: same id allocation, task-table
+// entry and initial runq position as a blocking spawn, but no goroutine.
+func (k *Kernel) spawnLoop(p *proc, name string, lp *loopTask) {
+	if k.stopping || p.crashed {
+		return
+	}
+	k.taskID++
+	t := &task{id: k.taskID, name: name, p: p, state: taskRunnable, loop: lp}
+	p.tasks = append(p.tasks, t)
+	k.runq = append(k.runq, t)
 }
 
 // CrashAt schedules a permanent crash of process id at time at. All tasks of
@@ -239,6 +318,11 @@ func (k *Kernel) Run(until time.Duration) time.Duration {
 // goroutine (a selected task, or the Run goroutine at end of run); a parking
 // caller then blocks on its own resume channel.
 //
+// Callback loop tasks never take the baton: when selected, their body runs
+// inline right here and the loop continues. That happens at exactly the
+// points a blocking task would have been handed the baton, so the schedule
+// — and therefore every run — is unchanged.
+//
 // The loop body is identical to the old dedicated-goroutine scheduler: runq
 // in FIFO order first, then the earliest pending event. Only the goroutine
 // executing it changes, so runs stay bit-identical.
@@ -258,6 +342,10 @@ func (k *Kernel) dispatch(self *task) bool {
 				k.runqHead = 0
 			}
 			if t.state != taskRunnable {
+				continue
+			}
+			if t.loop != nil {
+				k.runLoop(t)
 				continue
 			}
 			t.state = taskRunning
@@ -287,6 +375,10 @@ func (k *Kernel) dispatch(self *task) bool {
 			// loop iteration would select it immediately — skip the queue
 			// round-trip and select it here (same order, less bookkeeping).
 			if k.runqHead == len(k.runq) {
+				if t.loop != nil {
+					k.runLoop(t)
+					continue
+				}
 				t.state = taskRunning
 				k.current = t
 				if t == self {
@@ -308,6 +400,81 @@ func (k *Kernel) dispatch(self *task) bool {
 	return false
 }
 
+// runLoop executes one scheduling turn of a callback loop task inline: a
+// woken receive loop processes its wake message and then drains every
+// buffered match (exactly what the blocking loop's next Recv calls would
+// have consumed without yielding), a tick loop runs setup/one tick; the
+// task then re-parks. No events fire and no other task runs while the body
+// executes, just as when a blocking task holds the baton.
+func (k *Kernel) runLoop(t *task) {
+	t.state = taskRunning
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(unwindPanic); !ok && k.fatal == nil {
+				k.fatal = fmt.Errorf("sim: task %v/%s panicked: %v\n%s", t.p.id, t.name, r, debug.Stack())
+			}
+			if t.loop.wakeSlot >= 0 {
+				k.arena.unref(t.loop.wakeSlot)
+				t.loop.wakeSlot = -1
+			}
+			t.wakeMsg = nil
+			t.state = taskDone
+			t.p.taskFinished(k)
+		}
+	}()
+	if t.loop.recv != nil {
+		k.runRecvLoop(t)
+	} else {
+		k.runTickLoop(t)
+	}
+}
+
+func (k *Kernel) runRecvLoop(t *task) {
+	lp := t.loop
+	v := taskView{t}
+	m, h := t.wakeMsg, lp.wakeSlot
+	t.wakeMsg, lp.wakeSlot = nil, -1
+	for {
+		if m == nil {
+			m, h = t.p.takeKids(lp.kinds)
+			if m == nil {
+				break
+			}
+		}
+		lp.recv(v, m)
+		k.arena.unref(h)
+		m = nil
+	}
+	t.state = taskParked
+	t.p.parkLoop(t)
+}
+
+func (k *Kernel) runTickLoop(t *task) {
+	lp := t.loop
+	v := taskView{t}
+	if !lp.started {
+		lp.started = true
+		if lp.setup != nil {
+			lp.setup(v)
+		}
+		if !lp.immediate {
+			k.parkTick(t)
+			return
+		}
+	}
+	lp.tick(v)
+	k.parkTick(t)
+}
+
+// parkTick parks a tick loop until its next period timer, in the same order
+// a blocking task's Sleep would have: body first, then timer scheduling, so
+// event sequence numbers are unchanged.
+func (k *Kernel) parkTick(t *task) {
+	t.parkGen++
+	k.scheduleTimer(k.now+t.loop.period, evSleep, t, t.parkGen)
+	t.state = taskParked
+}
+
 // fire executes one popped event. It returns the single task the event made
 // runnable, if any, leaving its runq insertion to the caller (evFunc events
 // may wake or spawn any number of tasks; those enqueue internally and fire
@@ -317,7 +484,11 @@ func (k *Kernel) fire(ev event) *task {
 	case evFunc:
 		ev.fn()
 	case evDeliver:
-		return k.deliver(ev.msg)
+		s := k.arena.slot(ev.msg)
+		if s.gen != ev.gen {
+			panic(fmt.Sprintf("sim: stale delivery event observed recycled arena slot %d (slot gen %d, event gen %d)", ev.msg, s.gen, ev.gen))
+		}
+		return k.deliver(ev.msg, ev.kid, s)
 	case evSleep, evTimeout:
 		// A stale timer (the task was woken by a message or re-parked since)
 		// is recognized by its park generation and ignored.
@@ -349,10 +520,23 @@ func (k *Kernel) scheduleEvent(at time.Duration, fn func()) {
 	k.schedule(at, event{kind: evFunc, fn: fn})
 }
 
-// scheduleDeliver enqueues a message delivery without allocating a closure —
-// the per-send fast path.
-func (k *Kernel) scheduleDeliver(at time.Duration, m *dsys.Message) {
-	k.schedule(at, event{kind: evDeliver, msg: m})
+// kindID is dsys.KindID memoized through the kernel's one-entry cache (see
+// lastKind). The comparison of equal string literals is a length check plus a
+// pointer-equal memequal, far cheaper than the intern table's map lookups.
+func (k *Kernel) kindID(kind string) int32 {
+	if kind == k.lastKind {
+		return k.lastKid
+	}
+	id := dsys.KindID(kind)
+	k.lastKind, k.lastKid = kind, id
+	return id
+}
+
+// scheduleDeliver enqueues a message delivery without allocating anything —
+// the per-send fast path. The event records the slot's generation so a
+// stale holder of a recycled slot is caught at fire time.
+func (k *Kernel) scheduleDeliver(at time.Duration, h int32, gen uint32, kid int32) {
+	k.schedule(at, event{kind: evDeliver, msg: h, gen: gen, kid: kid})
 }
 
 // scheduleTimer enqueues a task wake-up (Sleep or RecvTimeout) without
@@ -370,43 +554,57 @@ func ready(t *task) *task {
 	return t
 }
 
-// deliver hands a message to its destination: directly to the parked task
-// that would have matched it first in task-creation order, otherwise into
-// the process buffer.
+// deliver hands the message in arena slot h to its destination: directly to
+// the parked task that would have matched it first in task-creation order,
+// otherwise into the process buffer.
 //
 // Parked tasks are indexed by what they wait for: tasks parked on a
-// dsys.KindMatcher sit in a per-kind lane, everything else in the generic
-// predicate lane (both in creation order). The winner under the old linear
-// scan over p.tasks was the lowest-id parked matching task; that is exactly
-// the lower of the kind lane's head and the first matching generic
-// predicate with a smaller id, so the common case — every waiter is a kind
-// waiter — dispatches in O(1) without calling a single predicate. It
-// returns the task the message woke (nil if the message was buffered or
-// dropped), made runnable but not yet enqueued.
-func (k *Kernel) deliver(m *dsys.Message) *task {
+// dsys.KindMatcher and callback receive loops sit in per-kind lanes,
+// everything else in the generic predicate lane (all in creation order).
+// The winner under the old linear scan over p.tasks was the lowest-id
+// parked matching task; that is exactly the lower of the kind lane's head
+// and the first matching generic predicate with a smaller id, so the common
+// case — every waiter is a kind waiter — dispatches in O(1) without calling
+// a single predicate. It returns the task the message woke (nil if the
+// message was buffered or dropped), made runnable but not yet enqueued.
+//
+// The delivery's arena reference moves to whatever takes the message: a
+// blocking task gets a heap copy (escape releases the reference), a
+// callback loop holds it until its body has run, a buffered entry keeps it
+// until taken, and a crashed destination releases it on the spot.
+func (k *Kernel) deliver(h, kid int32, s *msgSlot) *task {
+	m := &s.m
 	p := k.procAt(m.To)
 	if p.crashed {
+		k.arena.unref(h)
 		return nil
 	}
 	k.cfg.Trace.OnDeliver(m)
 	var kt *task
-	if lane := p.kindParked[m.Kind]; lane != nil && len(lane.tasks) > 0 {
-		kt = lane.tasks[0]
+	if int(kid) < len(p.kindLanes) {
+		if lane := p.kindLanes[kid]; lane != nil && len(lane.tasks) > 0 {
+			kt = lane.tasks[0]
+		}
 	}
 	for _, t := range p.anyParked {
 		if kt != nil && t.id > kt.id {
 			break
 		}
 		if t.match.Match(m) {
-			t.wakeMsg = m
+			t.wakeMsg = k.arena.escape(h)
 			return ready(t)
 		}
 	}
 	if kt != nil {
-		kt.wakeMsg = m
+		if kt.loop != nil {
+			kt.wakeMsg = m
+			kt.loop.wakeSlot = h
+		} else {
+			kt.wakeMsg = k.arena.escape(h)
+		}
 		return ready(kt)
 	}
-	p.bufAdd(m)
+	p.bufAdd(h, kid)
 	return nil
 }
 
@@ -419,10 +617,17 @@ func (k *Kernel) crash(p *proc) {
 	for _, t := range p.tasks {
 		k.unwindTask(t, unwindCrash)
 	}
-	// The process is permanently dead: nothing will ever read its buffers
-	// or task table again, so release them (long chaos soaks crash many
-	// processes).
-	p.buf, p.byKind, p.kindParked, p.anyParked, p.tasks = nil, nil, nil, nil, nil
+	// Release the buffered backlog's arena references before dropping the
+	// buffer: the process is dead, but its slots must recycle (long chaos
+	// soaks crash many processes, each possibly holding a backlog).
+	for _, e := range p.buf {
+		if e.slot >= 0 {
+			k.arena.unref(e.slot)
+		}
+	}
+	// Nothing will ever read the process's buffers or task table again, so
+	// release them too.
+	p.buf, p.byKid, p.kindLanes, p.anyParked, p.tasks = nil, nil, nil, nil, nil
 	p.bufDead = 0
 	p.doneTasks = 0
 }
@@ -437,6 +642,18 @@ func (k *Kernel) unwindTask(t *task, kind unwindKind) {
 		t.p.unpark(t)
 	}
 	t.unwind = kind
+	if lp := t.loop; lp != nil {
+		// Callback loop tasks have no goroutine to handshake: release any
+		// pending wake message and mark the task done on the spot.
+		if lp.wakeSlot >= 0 {
+			k.arena.unref(lp.wakeSlot)
+			lp.wakeSlot = -1
+		}
+		t.wakeMsg = nil
+		t.state = taskDone
+		t.match = nil
+		return
+	}
 	if t == k.current {
 		// t's goroutine holds the baton right now: it parked and is executing
 		// the dispatch loop that fired the crash event unwinding it. It cannot

@@ -34,11 +34,20 @@ type unwindPanic struct{ kind unwindKind }
 // task is one cooperative thread of a simulated process. Exactly one task in
 // the whole kernel runs at a time; switches happen only inside kernel
 // primitives, so runs are deterministic.
+//
+// Tasks come in two execution flavors. Blocking tasks (Spawn) run as
+// goroutines under the baton-passing scheduler and may suspend anywhere.
+// Callback loop tasks (SpawnRecvLoop/SpawnTickLoop, loop != nil) have no
+// goroutine at all: the dispatch loop runs their body inline at exactly the
+// points where it would have resumed the equivalent blocking task, so a
+// park/deliver/park cycle costs zero context switches.
 type task struct {
 	id   int
 	name string
 	p    *proc
 
+	// resume is the baton channel of a blocking task; nil for callback loop
+	// tasks.
 	resume chan struct{}
 	state  taskState
 	unwind unwindKind
@@ -46,6 +55,9 @@ type task struct {
 	// baton and blocks on the bell until this task's wrapper finishes; the
 	// wrapper then rings the bell instead of continuing the dispatch loop.
 	unwindSync bool
+
+	// loop marks a callback loop task and holds its state.
+	loop *loopTask
 
 	// Park bookkeeping. parkGen distinguishes park sessions so a stale
 	// timer cannot wake a later park. While the task waits in Recv or
@@ -63,16 +75,48 @@ type task struct {
 
 	// cachedMatch/cachedLane memoize the lane of the matcher this task last
 	// parked on: a task looping over Recv(MatchKind(k)) with the interned
-	// matcher then skips the kindParked map lookup entirely.
+	// matcher then skips the lane lookup entirely.
 	cachedMatch dsys.Matcher
 	cachedLane  *kindLane
 }
 
+// loopTask is the state of a callback loop task — the goroutine-free fast
+// path. A receive loop (recv != nil) parks in the kind lanes of all its
+// kinds; a tick loop (tick != nil) parks on its period timer.
+type loopTask struct {
+	// Receive loops.
+	recv  dsys.RecvLoopFunc
+	kinds []int32
+	// lanes caches the kind lanes of kinds (resolved at first park) and
+	// parked records whether the task currently sits in them.
+	lanes  []*kindLane
+	parked bool
+	// wakeSlot is the arena handle under task.wakeMsg while a delivered
+	// message waits for the loop body to run; -1 when none. The delivery's
+	// arena reference is held until the body returns.
+	wakeSlot int32
+
+	// Tick loops.
+	tick      dsys.TickLoopFunc
+	setup     func(dsys.Proc)
+	period    time.Duration
+	immediate bool
+	started   bool
+}
+
 // kindLane is the ordered set of tasks of one process parked on one message
 // kind. Lanes are created on first use and kept for the life of the process
-// (message kinds are a small static set), so parking is one map read and
-// unparking touches no map at all.
+// (message kinds are a small static set), so parking and unparking touch no
+// map at all.
 type kindLane struct{ tasks []*task }
+
+// bufEntry is one buffered message: the arena handle of its slot and its
+// interned kind id. A taken entry leaves slot == -1 (a hole). The entry owns
+// one arena reference until it is taken or the process crashes.
+type bufEntry struct {
+	slot int32
+	kid  int32
+}
 
 // proc is the simulator's view of one process.
 type proc struct {
@@ -81,20 +125,20 @@ type proc struct {
 	rng *rand.Rand
 
 	// Receive buffer: messages no task has matched yet, in arrival order.
-	// Taken messages leave a nil hole (so no stale *dsys.Message is
-	// retained) that compactBuf squeezes out once holes dominate. byKind
-	// indexes the live entries by message kind; its index queues may hold
-	// stale (nil-hole) positions, which readers skip lazily.
-	buf     []*dsys.Message
-	bufDead int              // number of nil holes in buf
-	byKind  map[string][]int // kind -> ascending buf indices
+	// Taken messages leave a hole that compactBuf squeezes out once holes
+	// dominate. byKid indexes the live entries by interned kind id; its
+	// index queues may hold stale (hole) positions, which readers skip
+	// lazily.
+	buf     []bufEntry
+	bufDead int       // number of holes in buf
+	byKid   [][]int32 // kind id -> ascending buf indices
 
 	// Parked-task dispatch lanes, both in task-creation (id) order.
-	// kindParked holds tasks waiting on a single message kind; anyParked
-	// holds tasks waiting on an arbitrary predicate. Tasks parked in Sleep
-	// are in neither lane — no message can wake them.
-	kindParked map[string]*kindLane
-	anyParked  []*task
+	// kindLanes holds tasks waiting on message kinds (indexed by interned
+	// kind id); anyParked holds tasks waiting on an arbitrary predicate.
+	// Tasks parked in Sleep are in neither lane — no message can wake them.
+	kindLanes []*kindLane
+	anyParked []*task
 
 	tasks     []*task // in creation order; compacted as tasks finish
 	doneTasks int     // number of taskDone entries still in tasks
@@ -110,88 +154,141 @@ func (p *proc) randSrc() *rand.Rand {
 	return p.rng
 }
 
-// bufAdd appends a delivered message to the receive buffer and its kind
-// index.
-func (p *proc) bufAdd(m *dsys.Message) {
-	if p.byKind == nil {
-		p.byKind = make(map[string][]int)
+// kindIDOf resolves a KindMatcher's interned kind id, skipping the string
+// lookup when the matcher carries its id (MatchKind's result does).
+func kindIDOf(km dsys.KindMatcher) int32 {
+	if ki, ok := km.(dsys.KindIDMatcher); ok {
+		return ki.MatchedKindID()
 	}
-	p.buf = append(p.buf, m)
-	p.byKind[m.Kind] = append(p.byKind[m.Kind], len(p.buf)-1)
+	return dsys.KindID(km.MatchedKind())
 }
 
-// takeAt removes and returns buf[i], leaving a nil hole. Stale index
-// entries pointing at the hole are skipped lazily; compactBuf reclaims the
-// holes themselves.
-func (p *proc) takeAt(i int) *dsys.Message {
-	m := p.buf[i]
-	p.buf[i] = nil
+// bufAdd appends a delivered message to the receive buffer and its kind
+// index, taking over the delivery's arena reference.
+func (p *proc) bufAdd(h, kid int32) {
+	p.buf = append(p.buf, bufEntry{slot: h, kid: kid})
+	for int(kid) >= len(p.byKid) {
+		p.byKid = append(p.byKid, nil)
+	}
+	p.byKid[kid] = append(p.byKid[kid], int32(len(p.buf)-1))
+}
+
+// takeAt removes buf[i], leaving a hole, and returns the message still in
+// its arena slot plus the slot handle; the caller inherits the entry's arena
+// reference and must unref (or escape) when done with the message. Stale
+// index entries pointing at the hole are skipped lazily; compactBuf reclaims
+// the holes themselves.
+func (p *proc) takeAt(i int) (*dsys.Message, int32) {
+	h := p.buf[i].slot
+	p.buf[i] = bufEntry{slot: -1}
 	p.bufDead++
 	p.compactBuf()
-	return m
+	return &p.k.arena.slot(h).m, h
 }
 
-// takeKind removes and returns the oldest buffered message of the given
-// kind — the O(1) fast path of receive dispatch.
-func (p *proc) takeKind(kind string) *dsys.Message {
-	q := p.byKind[kind]
+// takeKid removes and returns the oldest buffered message of the given kind
+// — the O(1) fast path of receive dispatch.
+func (p *proc) takeKid(kid int32) (*dsys.Message, int32) {
+	if int(kid) >= len(p.byKid) {
+		return nil, -1
+	}
+	q := p.byKid[kid]
 	for len(q) > 0 {
 		i := q[0]
 		q = q[1:]
-		if p.buf[i] != nil {
-			p.byKind[kind] = q
-			return p.takeAt(i)
+		if p.buf[i].slot >= 0 {
+			p.byKid[kid] = q
+			return p.takeAt(int(i))
 		}
 	}
 	if q != nil {
-		p.byKind[kind] = q
+		p.byKid[kid] = q
 	}
-	return nil
+	return nil, -1
+}
+
+// takeKids removes and returns the earliest-arrived buffered message among
+// the given kinds — the drain step of callback receive loops, equivalent to
+// the arrival-order scan a blocking multi-kind predicate Recv performs.
+func (p *proc) takeKids(kids []int32) (*dsys.Message, int32) {
+	if len(kids) == 1 {
+		return p.takeKid(kids[0])
+	}
+	best := int32(-1)
+	var bestKid int32
+	for _, kid := range kids {
+		if int(kid) >= len(p.byKid) {
+			continue
+		}
+		q := p.byKid[kid]
+		for len(q) > 0 && p.buf[q[0]].slot < 0 {
+			q = q[1:]
+		}
+		p.byKid[kid] = q
+		if len(q) > 0 && (best < 0 || q[0] < best) {
+			best, bestKid = q[0], kid
+		}
+	}
+	if best < 0 {
+		return nil, -1
+	}
+	p.byKid[bestKid] = p.byKid[bestKid][1:]
+	return p.takeAt(int(best))
 }
 
 // takeMatch removes and returns the first buffered message satisfying
 // match: by kind index when the matcher declares its kind, otherwise by
 // scanning arrival order.
-func (p *proc) takeMatch(match dsys.Matcher) *dsys.Message {
+func (p *proc) takeMatch(match dsys.Matcher) (*dsys.Message, int32) {
 	if km, ok := match.(dsys.KindMatcher); ok {
-		if p.byKind == nil {
-			return nil // nothing was ever buffered
+		if p.byKid == nil {
+			return nil, -1 // nothing was ever buffered
 		}
-		return p.takeKind(km.MatchedKind())
+		return p.takeKid(kindIDOf(km))
 	}
-	for i, m := range p.buf {
-		if m != nil && match.Match(m) {
+	for i, e := range p.buf {
+		if e.slot >= 0 && match.Match(&p.k.arena.slot(e.slot).m) {
 			return p.takeAt(i)
 		}
 	}
-	return nil
+	return nil, -1
 }
 
-// compactBuf squeezes the nil holes out of the buffer once they outnumber
-// the live messages, rebuilding the kind index with the shifted positions.
-// Each take creates at most one hole and a compaction touching len(buf)
-// entries removes more than len(buf)/2 of them, so the amortized cost per
-// take is O(1) and buffer memory stays proportional to the live backlog.
+// compactBuf squeezes the holes out of the buffer once they outnumber the
+// live messages, rebuilding the kind index with the shifted positions. Each
+// take creates at most one hole and a compaction touching len(buf) entries
+// removes more than len(buf)/2 of them, so the amortized cost per take is
+// O(1) and buffer memory stays proportional to the live backlog.
 func (p *proc) compactBuf() {
 	if p.bufDead <= 32 || p.bufDead*2 <= len(p.buf) {
 		return
 	}
-	for k, q := range p.byKind {
-		p.byKind[k] = q[:0]
+	for i := range p.byKid {
+		p.byKid[i] = p.byKid[i][:0]
 	}
 	live := p.buf[:0]
-	for _, m := range p.buf {
-		if m != nil {
-			p.byKind[m.Kind] = append(p.byKind[m.Kind], len(live))
-			live = append(live, m)
+	for _, e := range p.buf {
+		if e.slot >= 0 {
+			p.byKid[e.kid] = append(p.byKid[e.kid], int32(len(live)))
+			live = append(live, e)
 		}
-	}
-	// Nil the tail so the dropped slots release their message pointers.
-	for i := len(live); i < len(p.buf); i++ {
-		p.buf[i] = nil
 	}
 	p.buf = live
 	p.bufDead = 0
+}
+
+// lane returns the parked-task lane of kind id kid, creating it on first
+// use.
+func (p *proc) lane(kid int32) *kindLane {
+	for int(kid) >= len(p.kindLanes) {
+		p.kindLanes = append(p.kindLanes, nil)
+	}
+	l := p.kindLanes[kid]
+	if l == nil {
+		l = &kindLane{}
+		p.kindLanes[kid] = l
+	}
+	return l
 }
 
 // parkOn registers t in the dispatch lane its matcher selects. Called on
@@ -202,15 +299,7 @@ func (p *proc) parkOn(t *task, match dsys.Matcher) {
 	if km, ok := match.(dsys.KindMatcher); ok {
 		lane := t.cachedLane
 		if lane == nil || t.cachedMatch != match {
-			if p.kindParked == nil {
-				p.kindParked = make(map[string]*kindLane)
-			}
-			kind := km.MatchedKind()
-			lane = p.kindParked[kind]
-			if lane == nil {
-				lane = &kindLane{}
-				p.kindParked[kind] = lane
-			}
+			lane = p.lane(kindIDOf(km))
 			t.cachedMatch, t.cachedLane = match, lane
 		}
 		lane.tasks = laneInsert(lane.tasks, t)
@@ -221,8 +310,35 @@ func (p *proc) parkOn(t *task, match dsys.Matcher) {
 	p.anyParked = laneInsert(p.anyParked, t)
 }
 
-// unpark removes t from its dispatch lane, if it is in one.
+// parkLoop re-parks a callback receive loop in the kind lanes of all its
+// kinds. Sitting in every lane reproduces exactly the wake-priority the
+// blocking multi-kind predicate had from the generic lane: the winner of a
+// delivery is still the lowest-id parked matching task (see Kernel.deliver).
+func (p *proc) parkLoop(t *task) {
+	lp := t.loop
+	if lp.lanes == nil {
+		lp.lanes = make([]*kindLane, len(lp.kinds))
+		for i, kid := range lp.kinds {
+			lp.lanes[i] = p.lane(kid)
+		}
+	}
+	for _, lane := range lp.lanes {
+		lane.tasks = laneInsert(lane.tasks, t)
+	}
+	lp.parked = true
+}
+
+// unpark removes t from its dispatch lane(s), if it is in any.
 func (p *proc) unpark(t *task) {
+	if lp := t.loop; lp != nil {
+		if lp.parked {
+			for _, lane := range lp.lanes {
+				lane.tasks = laneRemove(lane.tasks, t)
+			}
+			lp.parked = false
+		}
+		return
+	}
 	if lane := t.parkLane; lane != nil {
 		lane.tasks = laneRemove(lane.tasks, t)
 		t.parkLane = nil
@@ -283,12 +399,15 @@ func (p *proc) taskFinished(k *Kernel) {
 }
 
 // taskView is the dsys.Proc handle given to a task. Each task gets its own
-// view so blocking primitives know which task is calling.
+// view so primitives know which task is calling.
 type taskView struct {
 	t *task
 }
 
-var _ dsys.Proc = taskView{}
+var (
+	_ dsys.Proc        = taskView{}
+	_ dsys.LoopSpawner = taskView{}
+)
 
 func (v taskView) ID() dsys.ProcessID    { return v.t.p.id }
 func (v taskView) N() int                { return len(v.t.p.k.procs) }
@@ -306,40 +425,53 @@ func (v taskView) Send(to dsys.ProcessID, kind string, payload any) {
 	if to < 1 || int(to) > len(k.procs) {
 		panic(fmt.Sprintf("sim: %v sent %q to invalid process %v", p.id, kind, to))
 	}
-	m := &dsys.Message{From: p.id, To: to, Kind: kind, Payload: payload, SentAt: k.now}
+	kid := k.kindID(kind)
+	h, s := k.arena.alloc()
+	s.m = dsys.Message{From: p.id, To: to, Kind: kind, Payload: payload, SentAt: k.now}
+	m := &s.m
 	if to == p.id {
 		k.cfg.Trace.OnSend(m, false)
-		k.scheduleDeliver(k.now+k.cfg.SelfDelay, m)
+		s.refs = 1
+		k.scheduleDeliver(k.now+k.cfg.SelfDelay, h, s.gen, kid)
 		return
 	}
-	// Networks supporting duplication deliver one copy per planned latency.
+	// Networks supporting duplication deliver one copy per planned latency;
+	// the copies share the slot and the last consumed one recycles it.
 	if mn, ok := k.cfg.Network.(network.MultiNetwork); ok {
 		copies := mn.PlanCopies(p.id, to, kind, k.now, k.netRand())
 		k.cfg.Trace.OnSend(m, len(copies) == 0)
+		if len(copies) == 0 {
+			k.arena.recycle(h, s)
+			return
+		}
+		s.refs = int32(len(copies))
 		for _, delay := range copies {
 			if delay < 0 {
 				delay = 0
 			}
-			k.scheduleDeliver(k.now+delay, m)
+			k.scheduleDeliver(k.now+delay, h, s.gen, kid)
 		}
 		return
 	}
 	delay, drop := k.cfg.Network.Plan(p.id, to, kind, k.now, k.netRand())
 	k.cfg.Trace.OnSend(m, drop)
 	if drop {
+		k.arena.recycle(h, s)
 		return
 	}
 	if delay < 0 {
 		delay = 0
 	}
-	k.scheduleDeliver(k.now+delay, m)
+	s.refs = 1
+	k.scheduleDeliver(k.now+delay, h, s.gen, kid)
 }
 
 func (v taskView) Recv(match dsys.Matcher) (*dsys.Message, bool) {
 	t := v.t
 	t.checkUnwind()
-	if m := t.p.takeMatch(match); m != nil {
-		return m, true
+	t.checkBlocking()
+	if m, h := t.p.takeMatch(match); m != nil {
+		return t.p.k.arena.escape(h), true
 	}
 	t.parkGen++
 	t.p.parkOn(t, match)
@@ -352,8 +484,9 @@ func (v taskView) Recv(match dsys.Matcher) (*dsys.Message, bool) {
 func (v taskView) RecvTimeout(match dsys.Matcher, d time.Duration) (*dsys.Message, bool) {
 	t := v.t
 	t.checkUnwind()
-	if m := t.p.takeMatch(match); m != nil {
-		return m, true
+	t.checkBlocking()
+	if m, h := t.p.takeMatch(match); m != nil {
+		return t.p.k.arena.escape(h), true
 	}
 	if d <= 0 {
 		return nil, false
@@ -372,6 +505,7 @@ func (v taskView) RecvTimeout(match dsys.Matcher, d time.Duration) (*dsys.Messag
 func (v taskView) Sleep(d time.Duration) {
 	t := v.t
 	t.checkUnwind()
+	t.checkBlocking()
 	if d <= 0 {
 		d = 1 // always yield so busy loops cannot stall virtual time
 	}
@@ -385,6 +519,22 @@ func (v taskView) Spawn(name string, fn dsys.TaskFunc) {
 	t := v.t
 	t.checkUnwind()
 	t.p.k.spawn(t.p, name, fn)
+}
+
+// SpawnRecvLoop implements dsys.LoopSpawner: the spawned loop runs as a
+// callback on the dispatch loop (no goroutine) unless
+// Config.GoroutineTasks forces the blocking expansion.
+func (v taskView) SpawnRecvLoop(name string, fn dsys.RecvLoopFunc, kinds ...string) {
+	t := v.t
+	t.checkUnwind()
+	t.p.k.spawnRecvLoop(t.p, name, fn, kinds)
+}
+
+// SpawnTickLoop implements dsys.LoopSpawner.
+func (v taskView) SpawnTickLoop(name string, loop dsys.TickLoop) {
+	t := v.t
+	t.checkUnwind()
+	t.p.k.spawnTickLoop(t.p, name, loop)
 }
 
 func (v taskView) Logf(format string, args ...any) {
@@ -401,6 +551,15 @@ func (v taskView) Logf(format string, args ...any) {
 func (t *task) checkUnwind() {
 	if t.unwind != unwindNone || t.p.k.stopping {
 		panic(unwindPanic{unwindStop})
+	}
+}
+
+// checkBlocking rejects blocking primitives on callback loop tasks, which
+// run inline on the dispatch loop and must never suspend. The panic
+// surfaces through Kernel.runLoop as a fatal task error.
+func (t *task) checkBlocking() {
+	if t.loop != nil {
+		panic(fmt.Sprintf("sim: callback loop task %v/%s called a blocking primitive; use a blocking Spawn task instead", t.p.id, t.name))
 	}
 }
 

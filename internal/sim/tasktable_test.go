@@ -88,9 +88,12 @@ func TestConsumedBufferEntriesReleased(t *testing.T) {
 		}
 	})
 	k.Run(time.Second)
-	for i, m := range k.procAt(1).buf {
-		if m != nil {
-			t.Errorf("buf[%d] still pins a %q message after consumption", i, m.Kind)
+	for i, e := range k.procAt(1).buf {
+		if e.slot >= 0 {
+			t.Errorf("buf[%d] still holds arena slot %d after consumption", i, e.slot)
 		}
+	}
+	if live := k.arena.live(); live != 0 {
+		t.Errorf("arena still has %d live slots after every message was consumed", live)
 	}
 }

@@ -29,17 +29,17 @@ import (
 // frontier advances, higher-level slots cascade: their events are re-filed
 // and strictly descend one or more levels until they reach level 0.
 //
-// Ordering: `cur` is a small binary heap holding exactly the events with
+// Ordering: `cur` is a small due set holding exactly the events with
 // at < curEnd (the end of the level-0 slot currently being drained). The
 // global minimum is therefore always cur's minimum: everything outside cur
 // is at or beyond curEnd, and newly pushed events below curEnd (the kernel
 // clamps at >= now) go straight into cur. Within cur the old heap's
-// (at, seq) comparison applies unchanged, so pop order — and with it every
+// (at, seq) total order applies unchanged, so pop order — and with it every
 // experiment table — is bit-identical to the binary heap's
 // (TestWheelMatchesHeapPopOrder proves this on randomized workloads).
 type eventQueue struct {
 	// cur holds the due events: every pending event with at < curEnd.
-	cur    eventHeap
+	cur    dueSet
 	curEnd time.Duration
 	// frontier is curEnd in ticks: the first tick not yet drained into cur.
 	frontier int64
@@ -186,10 +186,77 @@ func (q *eventQueue) drainSlot0(s int64) {
 	es := q.slots0[slot]
 	q.slots0[slot] = nil
 	q.occ0[slot>>6] &^= 1 << uint(slot&63)
-	for _, e := range es {
-		q.cur.push(e)
-	}
+	q.cur.fill(es)
 	q.slots0[slot] = recycle(es)
+}
+
+// dueSet is cur's implementation: the due events of the level-0 slot being
+// drained, served in exact (at, seq) order. A slot's events were appended in
+// seq order, so fill's insertion sort is near-linear, and serving is a head
+// index walk — no sift swaps of 48-byte events and no pointer write barriers,
+// which is what made the old all-heap due set the hottest line of
+// send-saturated profiles. The rare event pushed mid-drain for the slot still
+// being drained (a sub-tick delay; the kernel clamps at >= now) lands in the
+// spill heap and merges in by the same total order, so pop order is
+// bit-identical to the old heap's.
+type dueSet struct {
+	// run is the sorted slot content; run[head:] is the unserved remainder.
+	run  []event
+	head int
+	// spill holds events pushed below curEnd after fill, heap-ordered.
+	spill eventHeap
+}
+
+func (d *dueSet) Len() int { return len(d.run) - d.head + d.spill.Len() }
+
+// push files an event that became due mid-drain.
+func (d *dueSet) push(e event) { d.spill.push(e) }
+
+// fill replaces the exhausted due set with one level-0 slot's events, sorted
+// into (at, seq) order. Only valid when Len() == 0 (advance's precondition).
+func (d *dueSet) fill(es []event) {
+	d.run = append(d.run[:0], es...)
+	d.head = 0
+	for i := 1; i < len(d.run); i++ {
+		e := d.run[i]
+		j := i - 1
+		for j >= 0 && eventAfter(d.run[j], e) {
+			d.run[j+1] = d.run[j]
+			j--
+		}
+		d.run[j+1] = e
+	}
+}
+
+// eventAfter reports whether a fires strictly after b in (at, seq) order.
+func eventAfter(a, b event) bool {
+	if a.at != b.at {
+		return a.at > b.at
+	}
+	return a.seq > b.seq
+}
+
+func (d *dueSet) peek() event {
+	if d.head == len(d.run) {
+		return d.spill.peek()
+	}
+	if d.spill.Len() != 0 && eventAfter(d.run[d.head], d.spill.peek()) {
+		return d.spill.peek()
+	}
+	return d.run[d.head]
+}
+
+func (d *dueSet) pop() event {
+	if d.head == len(d.run) {
+		return d.spill.pop()
+	}
+	if d.spill.Len() != 0 && eventAfter(d.run[d.head], d.spill.peek()) {
+		return d.spill.pop()
+	}
+	e := d.run[d.head]
+	d.run[d.head] = event{} // release closure and message references
+	d.head++
+	return e
 }
 
 // straddling reports whether any upper level's slot containing the frontier
@@ -206,16 +273,31 @@ func (q *eventQueue) straddling() bool {
 	return false
 }
 
+// overflowBeyondWindow reports whether the overflow heap cannot supply the
+// next event while the frontier stays in its current level-1 window: it is
+// empty, or its earliest event's tick lies at or beyond that window's end.
+// Level-0 slots only ever hold ticks inside the window, so any occupied one
+// is then strictly earlier than everything in overflow. Without this check a
+// single resident far-future event (a soak run's horizon timer, say) would
+// force every advance of the entire run onto the slow path.
+func (q *eventQueue) overflowBeyondWindow() bool {
+	if q.overflow.Len() == 0 {
+		return true
+	}
+	oTick := int64(q.overflow.peek().at) >> wheelTickBits
+	return oTick >= q.frontier&^wheelL0Mask+wheelL0Slots
+}
+
 // advance moves the frontier to the next pending event and fills cur with
 // its level-0 slot. It must only be called when cur is empty and size > 0.
 func (q *eventQueue) advance() {
-	// Fast path: with the overflow heap empty and no upper-level slot
+	// Fast path: with the overflow heap out of reach and no upper-level slot
 	// straddling the frontier, an occupied level-0 slot is always the
 	// earliest candidate — every occupied slot of an upper level then lies
 	// strictly beyond the frontier's slot of that level and therefore starts
 	// at or after the level-0 window's end. This covers the steady state of
 	// periodic-timer workloads: each advance is a few bitmap probes.
-	if q.overflow.Len() == 0 && !q.straddling() {
+	if q.overflowBeyondWindow() && !q.straddling() {
 		if s := q.next0(); s >= 0 {
 			q.drainSlot0(s)
 			return

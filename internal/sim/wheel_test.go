@@ -149,6 +149,93 @@ func TestWheelPeriodicTimerOrder(t *testing.T) {
 	}
 }
 
+// TestWheelOverflowLongHorizon is the long-horizon regression test for the
+// overflow heap: timers scheduled past every wheel level (tens to hundreds
+// of virtual days, against a top-level horizon of ≈ 26 days) must pop in the
+// exact (at, seq) order of the reference binary heap, through every path the
+// overflow can take — events straddling the horizon boundary, exact
+// top-window multiples, ties at one instant between events filed into the
+// wheel and into the overflow at different epochs, and frontier jumps that
+// pull whole top windows back in. It also pins the fix for the fast-path
+// regression at long horizons: a resident far-future overflow event must not
+// degrade pop order (overflowBeyondWindow keeps the O(1) advance usable; the
+// slow path and the fast path must agree bit-exactly).
+func TestWheelOverflowLongHorizon(t *testing.T) {
+	const topShift = wheelTickBits + wheelL0Bits + wheelLevels*wheelLevelBits
+	day := 24 * time.Hour
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var wheel eventQueue
+		var ref refQueue
+		var seq uint64
+		now := time.Duration(0)
+		push := func(at time.Duration) {
+			if at < now {
+				at = now
+			}
+			seq++
+			e := event{at: at, seq: seq}
+			wheel.push(e)
+			ref.push(e)
+		}
+		pop := func(step int) {
+			we, re := wheel.pop(), ref.pop()
+			if we.at != re.at || we.seq != re.seq {
+				t.Fatalf("seed %d step %d: pop mismatch: wheel (%v, %d) vs heap (%v, %d)",
+					seed, step, we.at, we.seq, re.at, re.seq)
+			}
+			if we.at > now {
+				now = we.at
+			}
+		}
+		// A resident horizon timer: parks in the overflow for most of the
+		// run, so nearly every advance runs with overflow non-empty.
+		push(400 * day)
+		horizon := time.Duration(1) << topShift
+		var lastAt time.Duration
+		for step := 0; step < 6000; step++ {
+			switch r := rng.Intn(16); {
+			case r < 3: // level-0 regime under the resident overflow event
+				push(now + time.Duration(rng.Int63n(int64(2*time.Millisecond))))
+			case r < 5: // duplicate a prior instant: tie across filing epochs
+				push(lastAt)
+			case r < 7: // straddle the ≈26-day horizon from the current now
+				lastAt = now + horizon - time.Duration(rng.Int63n(int64(time.Hour))) +
+					time.Duration(rng.Int63n(int64(2*time.Hour)))
+				push(lastAt)
+			case r < 9: // exact top-window multiples and their neighbours
+				k := 1 + rng.Int63n(6)
+				lastAt = time.Duration(k) << topShift
+				push(lastAt)
+				push(lastAt - 1)
+				push(lastAt + 1)
+			case r < 11: // deep future: several top windows out
+				lastAt = now + time.Duration(rng.Int63n(int64(200*day)))
+				push(lastAt)
+			case r < 12: // same-instant burst far beyond the horizon
+				at := now + time.Duration(rng.Int63n(int64(60*day)))
+				for i := 0; i < 4; i++ {
+					push(at)
+				}
+			default:
+				if ref.Len() > 0 {
+					pop(step)
+				}
+			}
+			if wheel.Len() != ref.Len() {
+				t.Fatalf("seed %d step %d: size mismatch: wheel %d vs heap %d",
+					seed, step, wheel.Len(), ref.Len())
+			}
+		}
+		for ref.Len() > 0 {
+			pop(-1)
+		}
+		if wheel.Len() != 0 {
+			t.Fatalf("seed %d: wheel retains %d events after drain", seed, wheel.Len())
+		}
+	}
+}
+
 // TestWheelPopDue checks the fused peek-then-pop against the plain pop: due
 // events come out in order, and a beyond-limit head is left in place.
 func TestWheelPopDue(t *testing.T) {
